@@ -1,0 +1,80 @@
+// Command boreltanner prints the total-infection distribution of Eq. (4)
+// for a contained worm: the PMF/CDF tables behind Figs. 4–5 and 11–12,
+// the moments, and design quantiles.
+//
+// Usage:
+//
+//	boreltanner -worm codered -m 10000 -i0 10 -kmax 300
+//	boreltanner -lambda 0.83 -i0 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/dist"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "boreltanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("boreltanner", flag.ContinueOnError)
+	var (
+		worm   = fs.String("worm", "codered", "preset: codered, slammer, codered2, nimda, blaster, witty, sasser")
+		m      = fs.Int("m", 10000, "scan limit M")
+		i0     = fs.Int("i0", 10, "initially infected hosts")
+		lambda = fs.Float64("lambda", 0, "offspring mean λ directly (overrides -worm/-m)")
+		kMax   = fs.Int("kmax", 0, "print PMF/CDF up to this k (0 = q999)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var bt dist.BorelTanner
+	switch {
+	case *lambda > 0:
+		b, err := dist.NewBorelTanner(*lambda, *i0)
+		if err != nil {
+			return err
+		}
+		bt = b
+	default:
+		w, ok := core.PresetByName(*worm, *m, *i0)
+		if !ok {
+			return fmt.Errorf("unknown worm preset %q", *worm)
+		}
+		b, err := w.TotalInfections()
+		if err != nil {
+			return err
+		}
+		bt = b
+		fmt.Printf("scenario %s: V=%d M=%d\n", w.Name, w.V, w.M)
+	}
+
+	fmt.Printf("λ=%.6f I0=%d\n", bt.Lambda, bt.I0)
+	fmt.Printf("E[I]=%.2f Var[I]=%.1f (std %.1f); paper formula I0/(1-λ)^3 = %.1f\n",
+		bt.Mean(), bt.Var(), math.Sqrt(bt.Var()), bt.VarPaper())
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		fmt.Printf("q%.3g = %d\n", 100*q, bt.Quantile(q))
+	}
+
+	limit := *kMax
+	if limit == 0 {
+		limit = bt.Quantile(0.999)
+	}
+	fmt.Println("      k          P{I=k}         P{I<=k}")
+	pmf := bt.PMFSeries(limit)
+	cdf := bt.CDFSeries(limit)
+	for k := bt.I0; k <= limit; k++ {
+		fmt.Printf("%7d %15.9f %15.9f\n", k, pmf[k], cdf[k])
+	}
+	return nil
+}

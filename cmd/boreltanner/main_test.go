@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-kmax", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSlammer(t *testing.T) {
+	if err := run([]string{"-worm", "slammer", "-m", "5000", "-kmax", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDirectLambda(t *testing.T) {
+	if err := run([]string{"-lambda", "0.83", "-i0", "10", "-kmax", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-worm", "blaster"},
+		{"-lambda", "1.5"},
+		{"-worm", "codered", "-m", "20000"}, // λ > 1: no proper distribution
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

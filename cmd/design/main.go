@@ -1,0 +1,125 @@
+// Command design is the operator-facing planning tool for the automated
+// containment system: given a worm scenario and a containment target it
+// derives the scan limit M (Section IV step 1), audits a clean traffic
+// trace for false alarms, and recommends a containment cycle from the
+// observed activity (Section IV steps 2–4).
+//
+// Usage:
+//
+//	design -worm codered -i0 10 -max-infected 100 -confidence 0.99
+//	design -v 500000 -max-infected 250 -confidence 0.95 -trace clean.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "design:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("design", flag.ContinueOnError)
+	var (
+		worm       = fs.String("worm", "codered", "preset: codered, slammer, codered2, nimda, blaster, witty, sasser (overridden by -v)")
+		v          = fs.Int("v", 0, "vulnerable population size (0 = use preset)")
+		i0         = fs.Int("i0", 10, "initially infected hosts to design against")
+		maxTotal   = fs.Int("max-infected", 100, "acceptable ceiling on total infections")
+		confidence = fs.Float64("confidence", 0.99, "required probability of staying under the ceiling")
+		tracePath  = fs.String("trace", "", "clean traffic trace to audit (LBL-CONN-7 style); empty = synthetic")
+		checkFrac  = fs.Float64("check-fraction", 0.9, "early-check fraction f of the limit")
+		tolerance  = fs.Float64("tolerance", 0.005, "tolerated fraction of clean hosts crossing f·M per cycle")
+		seed       = fs.Uint64("seed", 1, "seed for the synthetic trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var base core.WormModel
+	if *v > 0 {
+		w, err := core.NewWormModel("custom", *v, core.IPv4SpaceSize, 0, *i0)
+		if err != nil {
+			return err
+		}
+		base = w
+	} else {
+		w, ok := core.PresetByName(*worm, 0, *i0)
+		if !ok {
+			return fmt.Errorf("unknown worm preset %q", *worm)
+		}
+		base = w
+	}
+
+	fmt.Printf("scenario %s: V=%d, p=%.4g, Proposition-1 threshold 1/p = %.0f\n",
+		base.Name, base.V, base.Density(), base.ExtinctionThreshold())
+
+	// Step 1: size M for the containment target.
+	target := core.ContainmentTarget{MaxTotalInfected: *maxTotal, Confidence: *confidence}
+	m, err := core.DesignM(base, target)
+	if err != nil {
+		return err
+	}
+	designed := base
+	designed.M = m
+	bt, err := designed.TotalInfections()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstep 1 — scan limit:\n")
+	fmt.Printf("  designed M = %d for P{I <= %d} >= %.3f (achieved %.4f)\n",
+		m, *maxTotal, *confidence, bt.CDF(*maxTotal))
+	fmt.Printf("  outbreak law at this M: E[I]=%.1f std=%.1f q95=%d q99=%d\n",
+		bt.Mean(), math.Sqrt(bt.Var()), bt.Quantile(0.95), bt.Quantile(0.99))
+
+	// Step 2: audit clean traffic against the designed M.
+	var records []trace.Record
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		records, err = trace.Parse(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstep 2 — clean-traffic audit (%s):\n", *tracePath)
+	} else {
+		records, err = trace.Generate(trace.DefaultGeneratorConfig(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstep 2 — clean-traffic audit (synthetic LBL-CONN-7 stand-in):\n")
+	}
+	analysis, err := trace.Analyze(records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  hosts: %d over %.1f days; busiest host %d distinct destinations\n",
+		analysis.Hosts(), analysis.Span.Hours()/24, analysis.Top(1)[0].Distinct)
+	fmt.Printf("  hosts that would hit M=%d in the trace span: %d\n", m, analysis.FalseAlarms(m))
+	fmt.Printf("  hosts that would cross the f·M=%0.f check threshold: %d\n",
+		*checkFrac*float64(m), analysis.FalseAlarms(int(*checkFrac*float64(m))))
+
+	// Steps 3–4: containment cycle from the observed activity.
+	planner := core.CyclePlanner{M: m, CheckFraction: *checkFrac, Tolerance: *tolerance}
+	cycle, err := planner.Recommend(analysis.RatesPerHour(), 24*time.Hour, 365*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsteps 3-4 — containment cycle:\n")
+	fmt.Printf("  recommended cycle: %.0f days (f=%.2f, tolerance %.2g)\n",
+		cycle.Hours()/24, *checkFrac, *tolerance)
+	fmt.Printf("  adaptation rule: <50%% peak usage -> grow 25%%; >90%% -> shrink 25%%\n")
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunCodeRedDefaults(t *testing.T) {
+	if err := run([]string{"-max-infected", "150", "-confidence", "0.95"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSlammerCustomTarget(t *testing.T) {
+	if err := run([]string{"-worm", "slammer", "-max-infected", "30",
+		"-confidence", "0.99", "-check-fraction", "0.8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomPopulation(t *testing.T) {
+	if err := run([]string{"-v", "250000", "-max-infected", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-worm", "morris"},
+		{"-max-infected", "0"},
+		{"-confidence", "1.5"},
+		{"-trace", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

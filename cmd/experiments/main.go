@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// every figure (Figs. 2–12), the Section III numeric claims, and the
+// ablations A1–A3. It prints the exact series a plot of each figure
+// would show, plus notes comparing measured values with the numbers the
+// paper reports.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig7 [-runs 1000] [-seed 42]
+//	experiments -id fig3 -plot          # draw the figure as ASCII art
+//	experiments -all -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wormcontain/internal/experiments"
+	"wormcontain/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id      = fs.String("id", "", "artifact to regenerate (see -list)")
+		all     = fs.Bool("all", false, "regenerate every artifact")
+		list    = fs.Bool("list", false, "list artifact ids and exit")
+		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
+		runs    = fs.Int("runs", 0, "Monte-Carlo replications (0 = paper's 1000)")
+		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+		summary = fs.Bool("summary", false, "print only titles and notes, not series")
+		asPlot  = fs.Bool("plot", false, "render each artifact's series as an ASCII chart")
+		tsvDir  = fs.String("tsv", "", "also write each artifact's series as TSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick}
+	var results []*experiments.Result
+	switch {
+	case *all:
+		rs, err := experiments.RunAll(opts)
+		if err != nil {
+			return err
+		}
+		results = rs
+	case *id != "":
+		r, err := experiments.Run(*id, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	default:
+		return fmt.Errorf("need -id <artifact> or -all (use -list to enumerate)")
+	}
+
+	for _, r := range results {
+		if *tsvDir != "" {
+			if err := r.WriteTSV(*tsvDir); err != nil {
+				return err
+			}
+		}
+		switch {
+		case *asPlot:
+			fmt.Print(r.Summary())
+			series := make([]plot.Series, len(r.Series))
+			for i, s := range r.Series {
+				series[i] = plot.Series{Label: s.Label, X: s.X, Y: s.Y}
+			}
+			fmt.Print(plot.Render(plot.Config{Title: r.Title}, series...))
+		case *summary:
+			fmt.Print(r.Summary())
+		default:
+			fmt.Print(r.Format())
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command extinction prints extinction-probability analyses for a worm
+// scenario: Proposition 1's threshold 1/p, the eventual extinction
+// probability π, and the per-generation curve P_n of Fig. 3.
+//
+// Usage:
+//
+//	extinction -worm codered -m 5000,7500,10000 -gens 20
+//	extinction -v 500000 -m 8000 -i0 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wormcontain/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "extinction:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("extinction", flag.ContinueOnError)
+	var (
+		worm  = fs.String("worm", "codered", "preset: codered, slammer, codered2, nimda, blaster, witty, sasser (overridden by -v)")
+		v     = fs.Int("v", 0, "vulnerable population size (0 = use preset)")
+		mList = fs.String("m", "5000,7500,10000", "comma-separated scan limits to sweep")
+		i0    = fs.Int("i0", 1, "initially infected hosts")
+		gens  = fs.Int("gens", 20, "generations to compute")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var base core.WormModel
+	if *v > 0 {
+		w, err := core.NewWormModel("custom", *v, core.IPv4SpaceSize, 0, *i0)
+		if err != nil {
+			return err
+		}
+		base = w
+	} else {
+		w, ok := core.PresetByName(*worm, 0, *i0)
+		if !ok {
+			return fmt.Errorf("unknown worm preset %q", *worm)
+		}
+		base = w
+	}
+
+	ms, err := parseInts(*mList)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %s: V=%d p=%.6g threshold 1/p=%.0f I0=%d\n",
+		base.Name, base.V, base.Density(), base.ExtinctionThreshold(), base.I0)
+
+	curves := make([][]float64, 0, len(ms))
+	for _, m := range ms {
+		w := base
+		w.M = m
+		probs, err := w.ExtinctionByGeneration(*gens)
+		if err != nil {
+			return err
+		}
+		curves = append(curves, probs)
+		fmt.Printf("M=%d: λ=%.4f guaranteed=%v π=%.6f\n",
+			m, w.Lambda(), w.GuaranteedExtinction(), w.ExtinctionProbability())
+	}
+
+	fmt.Printf("%10s", "generation")
+	for _, m := range ms {
+		fmt.Printf(" %12s", "M="+strconv.Itoa(m))
+	}
+	fmt.Println()
+	for n := 0; n <= *gens; n++ {
+		fmt.Printf("%10d", n)
+		for _, c := range curves {
+			fmt.Printf(" %12.6f", c[n])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad integer %q in list", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

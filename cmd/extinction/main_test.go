@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSlammerCustomGens(t *testing.T) {
+	if err := run([]string{"-worm", "slammer", "-gens", "5", "-m", "1000,2000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomPopulation(t *testing.T) {
+	if err := run([]string{"-v", "500000", "-m", "8000", "-i0", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-worm", "morris"},
+		{"-m", "abc"},
+		{"-m", "-5"},
+		{"-v", "100", "-i0", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2 ,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,,2"); err == nil {
+		t.Error("expected error for empty element")
+	}
+}

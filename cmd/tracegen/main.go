@@ -1,0 +1,111 @@
+// Command tracegen generates, writes, reads and analyzes LBL-CONN-7
+// style wide-area connection traces: the Fig. 6 substrate. Without -in
+// it synthesizes a 30-day trace calibrated to the paper's statistics;
+// with -in it analyzes an existing trace file (e.g. the real LBL-CONN-7
+// converted to the documented 8-column format).
+//
+// Usage:
+//
+//	tracegen -seed 1 -out trace.txt        # generate and save
+//	tracegen -in trace.txt -m 5000 -top 6  # analyze a trace file
+//	tracegen -quick                        # generate + analyze in memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wormcontain/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		in    = fs.String("in", "", "analyze this trace file instead of generating")
+		out   = fs.String("out", "", "write the generated trace to this file")
+		seed  = fs.Uint64("seed", 1, "generator seed")
+		hosts = fs.Int("hosts", 1645, "number of local hosts to generate")
+		top   = fs.Int("top", 6, "print growth curves for the top-N hosts")
+		m     = fs.Int("m", 5000, "containment limit for the false-alarm audit")
+		quick = fs.Bool("quick", false, "fewer repeat records (distinct counts unchanged)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var records []trace.Record
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		records, err = trace.Parse(f)
+		if err != nil {
+			return err
+		}
+	default:
+		cfg := trace.DefaultGeneratorConfig(*seed)
+		cfg.Hosts = *hosts
+		if *quick {
+			cfg.RepeatFactor = 0.5
+		}
+		var err error
+		records, err = trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			if err := trace.Write(f, records); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d records to %s\n", len(records), *out)
+		}
+	}
+
+	a, err := trace.Analyze(records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records: %d  hosts: %d  span: %.1f days\n",
+		len(records), a.Hosts(), a.Span.Hours()/24)
+	fmt.Printf("hosts below 100 distinct destinations: %.2f%%\n", 100*a.FractionBelow(100))
+	fmt.Printf("hosts above 1000 distinct destinations: %d\n", a.CountAbove(1000))
+	fmt.Printf("false alarms at M=%d: %d\n", *m, a.FalseAlarms(*m))
+
+	fmt.Printf("top %d hosts by distinct destinations:\n", *top)
+	for _, th := range a.Top(*top) {
+		fmt.Printf("  host %5d: %5d distinct\n", th.Host, th.Distinct)
+	}
+
+	fmt.Println("growth curves (hours -> distinct), 10-point grid:")
+	for _, th := range a.Top(*top) {
+		times, counts, err := a.GrowthCurve(th.Host, 9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  host %5d:", th.Host)
+		for i := range times {
+			fmt.Printf(" %.0fh:%.0f", times[i].Hours(), counts[i])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerateAnalyzeInMemory(t *testing.T) {
+	if err := run([]string{"-hosts", "100", "-quick", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWriteThenRead(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.txt")
+	if err := run([]string{"-hosts", "60", "-quick", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file: %v (size %d)", err, info.Size())
+	}
+	if err := run([]string{"-in", out, "-top", "2", "-m", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/file"}); err == nil {
+		t.Error("expected error for missing input")
+	}
+	if err := run([]string{"-hosts", "0"}); err == nil {
+		t.Error("expected error for zero hosts")
+	}
+}

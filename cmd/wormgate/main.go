@@ -1,0 +1,266 @@
+// Command wormgate runs the containment system as network software:
+//
+//	wormgate serve     — run a containment gateway (TCP relay + limiter)
+//	wormgate collect   — run a fleet collector aggregating gateway reports
+//	wormgate probe     — issue one WCP/1 connection through a gateway
+//
+// Examples:
+//
+//	wormgate collect -listen 127.0.0.1:7700
+//	wormgate serve -listen 127.0.0.1:7800 -m 5000 -cycle 720h \
+//	    -collector 127.0.0.1:7700 -id site-a -state /var/lib/wormgate.json
+//	wormgate probe -gateway 127.0.0.1:7800 -src 10.0.0.1 -dst 93.184.216.34 -port 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/core"
+	"wormcontain/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wormgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: wormgate <serve|collect|probe> [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:])
+	case "collect":
+		return runCollect(args[1:])
+	case "probe":
+		return runProbe(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve, collect or probe)", args[0])
+	}
+}
+
+// runServe starts a gateway, optionally restoring limiter state, and
+// optionally reporting to a collector, until SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("wormgate serve", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:7800", "gateway listen address")
+		m         = fs.Int("m", 5000, "scan limit M (distinct destinations per cycle)")
+		cycle     = fs.Duration("cycle", 30*24*time.Hour, "containment cycle duration")
+		checkFrac = fs.Float64("check-fraction", 0.9, "early-check fraction f (0 disables)")
+		collector = fs.String("collector", "", "collector address to report to (empty = none)")
+		id        = fs.String("id", "gateway", "gateway id in reports")
+		interval  = fs.Duration("report-interval", 10*time.Second, "reporting period")
+		statePath = fs.String("state", "", "limiter snapshot file (restored at start, saved at exit)")
+		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /stats); empty = off")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	limiter, err := loadOrCreateLimiter(*statePath, core.LimiterConfig{
+		M:             *m,
+		Cycle:         *cycle,
+		CheckFraction: *checkFrac,
+	})
+	if err != nil {
+		return err
+	}
+
+	gw, err := gateway.New(gateway.Config{Limiter: limiter}, *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway %s listening on %s (M=%d, cycle=%v)\n", *id, gw.Addr(), *m, *cycle)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve() }()
+
+	var admin *gateway.AdminServer
+	if *adminAddr != "" {
+		a, err := gateway.NewAdminServer(gw.Stats, *adminAddr)
+		if err != nil {
+			return err
+		}
+		admin = a
+		go func() { _ = admin.Serve() }()
+		fmt.Printf("admin endpoint on http://%s (/healthz, /stats)\n", admin.Addr())
+	}
+
+	var reporter *gateway.Reporter
+	reporterErr := make(chan error, 1)
+	if *collector != "" {
+		reporter = &gateway.Reporter{
+			GatewayID:     *id,
+			CollectorAddr: *collector,
+			Interval:      *interval,
+			Source:        gw.Stats,
+		}
+		go func() { reporterErr <- reporter.Run() }()
+		fmt.Printf("reporting to %s every %v\n", *collector, *interval)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("signal %v: shutting down\n", s)
+	case err := <-serveErr:
+		fmt.Printf("serve ended: %v\n", err)
+	case err := <-reporterErr:
+		fmt.Printf("reporter ended: %v\n", err)
+	}
+	if reporter != nil {
+		reporter.Stop()
+	}
+	if admin != nil {
+		admin.Shutdown()
+	}
+	gw.Shutdown()
+
+	if *statePath != "" {
+		if err := saveLimiter(limiter, *statePath); err != nil {
+			return err
+		}
+		fmt.Printf("limiter state saved to %s\n", *statePath)
+	}
+	s := gw.Stats()
+	fmt.Printf("final stats: relayed=%d denied=%d flagged=%d removals=%d\n",
+		s.Relayed, s.Denied, s.Flagged, s.Limiter.TotalRemovals)
+	return nil
+}
+
+// loadOrCreateLimiter restores a snapshot when present; otherwise starts
+// a fresh limiter with the given configuration.
+func loadOrCreateLimiter(path string, cfg core.LimiterConfig) (*core.Limiter, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		switch {
+		case err == nil:
+			l, err := core.RestoreLimiter(data)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", path, err)
+			}
+			fmt.Printf("restored limiter state from %s (cycle %d)\n", path, l.CycleIndex())
+			return l, nil
+		case os.IsNotExist(err):
+			// Fresh start below.
+		default:
+			return nil, err
+		}
+	}
+	return core.NewLimiter(cfg, time.Now().UTC())
+}
+
+// saveLimiter writes the limiter snapshot atomically (write + rename).
+func saveLimiter(l *core.Limiter, path string) error {
+	data, err := l.MarshalState()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runCollect starts a collector and prints the fleet aggregate
+// periodically until SIGINT/SIGTERM.
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("wormgate collect", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7700", "collector listen address")
+		interval = fs.Duration("print-interval", 10*time.Second, "aggregate print period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := gateway.NewCollector(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collector listening on %s\n", c.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			f := c.Aggregate()
+			fmt.Printf("fleet: gateways=%d relayed=%d denied=%d flagged=%d removals=%d\n",
+				f.Gateways, f.Relayed, f.Denied, f.Flagged, f.TotalRemovals)
+		case s := <-sig:
+			fmt.Printf("signal %v: shutting down\n", s)
+			c.Shutdown()
+			return nil
+		case err := <-serveErr:
+			return err
+		}
+	}
+}
+
+// runProbe issues one connection through a gateway and copies stdin to
+// the destination and the response to stdout (netcat-style).
+func runProbe(args []string) error {
+	fs := flag.NewFlagSet("wormgate probe", flag.ContinueOnError)
+	var (
+		gwAddr = fs.String("gateway", "127.0.0.1:7800", "gateway address")
+		srcStr = fs.String("src", "10.0.0.1", "source IPv4 the request is attributed to")
+		dstStr = fs.String("dst", "", "destination IPv4")
+		port   = fs.Int("port", 80, "destination port")
+		send   = fs.String("send", "", "payload to send (empty = copy stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dstStr == "" {
+		return fmt.Errorf("probe needs -dst")
+	}
+	src, err := addr.ParseIP(*srcStr)
+	if err != nil {
+		return err
+	}
+	dst, err := addr.ParseIP(*dstStr)
+	if err != nil {
+		return err
+	}
+	conn, flagged, err := gateway.Client{GatewayAddr: *gwAddr}.Connect(src, dst, *port)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if flagged {
+		fmt.Fprintln(os.Stderr, "warning: gateway flagged this source for checking")
+	}
+	if *send != "" {
+		if _, err := conn.Write([]byte(*send)); err != nil {
+			return err
+		}
+		if tcp, ok := conn.(interface{ CloseWrite() error }); ok {
+			// Best-effort half-close: the peer may already have hung up
+			// (e.g. the gateway denied after the greeting).
+			_ = tcp.CloseWrite()
+		}
+	} else {
+		go func() {
+			_, _ = io.Copy(conn, os.Stdin)
+		}()
+	}
+	_, err = io.Copy(os.Stdout, conn)
+	return err
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/gateway"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"dance"}); err == nil {
+		t.Error("expected unknown-subcommand error")
+	}
+}
+
+func TestProbeThroughInProcessGateway(t *testing.T) {
+	// Upstream echo.
+	upstream, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upstream.Close()
+	go func() {
+		for {
+			c, err := upstream.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	lim, err := core.NewLimiter(core.LimiterConfig{M: 5, Cycle: time.Hour}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Limiter: lim,
+		Dial: func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, upstream.Addr().String(), 5*time.Second)
+		},
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = gw.Serve() }()
+	defer gw.Shutdown()
+
+	if err := run([]string{"probe", "-gateway", gw.Addr(),
+		"-src", "10.0.0.1", "-dst", "203.0.113.9", "-port", "80",
+		"-send", "ping"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	if err := run([]string{"probe"}); err == nil {
+		t.Error("expected error: missing -dst")
+	}
+	if err := run([]string{"probe", "-dst", "not-an-ip"}); err == nil {
+		t.Error("expected error: bad dst")
+	}
+	if err := run([]string{"probe", "-src", "nope", "-dst", "1.2.3.4"}); err == nil {
+		t.Error("expected error: bad src")
+	}
+}
+
+func TestLimiterStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	cfg := core.LimiterConfig{M: 3, Cycle: time.Hour}
+
+	fresh, err := loadOrCreateLimiter(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Observe(7, 1, time.Now())
+	fresh.Observe(7, 2, time.Now())
+	if err := saveLimiter(fresh, path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := loadOrCreateLimiter(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.DistinctCount(7); got != 2 {
+		t.Errorf("restored count = %d, want 2", got)
+	}
+}
+
+func TestLoadOrCreateLimiterBadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrCreateLimiter(path, core.LimiterConfig{M: 1, Cycle: time.Hour}); err == nil {
+		t.Error("expected error for corrupt state file")
+	}
+}

@@ -1,0 +1,135 @@
+// Command wormsim runs one discrete-event worm propagation simulation
+// and prints its outcome: total/removed/peak counts, the generation
+// breakdown, and optionally the sample path (the curves of Figs. 9–10).
+//
+// Usage:
+//
+//	wormsim -worm codered -m 10000 -rate 6 -seed 1 -path
+//	wormsim -v 120000 -i0 10 -m 10000 -rate 4000 -defense throttle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/defense"
+	"wormcontain/internal/rng"
+	"wormcontain/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wormsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
+	var (
+		worm      = fs.String("worm", "", "preset name (codered, slammer, codered2, nimda, blaster, witty, sasser) setting V")
+		v         = fs.Int("v", 360000, "vulnerable population size")
+		i0        = fs.Int("i0", 10, "initially infected hosts")
+		m         = fs.Int("m", 10000, "containment limit M (distinct destinations per cycle)")
+		rate      = fs.Float64("rate", 6, "scan rate per infected host (scans/second)")
+		defName   = fs.String("defense", "mlimit", "defense: mlimit, throttle, quarantine, none")
+		horizon   = fs.Duration("horizon", 0, "stop at this virtual time (0 = run to extinction)")
+		maxInf    = fs.Int("max-infected", 0, "stop once this many hosts are infected (0 = off)")
+		dutyOn    = fs.Duration("duty-on", 0, "stealth worm active phase (0 = always on)")
+		dutyOff   = fs.Duration("duty-off", 0, "stealth worm dormant phase")
+		patchRate = fs.Float64("patch-rate", 0, "per-infected-host patch rate (events/s)")
+		immunize  = fs.Float64("immunize-rate", 0, "per-susceptible immunization rate (events/s)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		stream    = fs.Uint64("stream", 0, "random stream (replication index)")
+		path      = fs.Bool("path", false, "print the sample path on a 60-point grid")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *worm != "" {
+		w, ok := core.PresetByName(*worm, *m, *i0)
+		if !ok {
+			return fmt.Errorf("unknown worm preset %q", *worm)
+		}
+		*v = w.V
+	}
+
+	var d defense.Defense
+	switch *defName {
+	case "mlimit":
+		ml, err := defense.NewMLimit(*m, 365*24*time.Hour)
+		if err != nil {
+			return err
+		}
+		d = ml
+	case "throttle":
+		d = defense.NewWilliamsonThrottle()
+	case "quarantine":
+		q, err := defense.NewQuarantine(0.001, time.Minute, rng.NewPCG64(*seed^0xdef, *stream))
+		if err != nil {
+			return err
+		}
+		d = q
+	case "none":
+		d = defense.Null{}
+		if *horizon == 0 && *maxInf == 0 {
+			return fmt.Errorf("defense 'none' needs -horizon or -max-infected to terminate")
+		}
+	default:
+		return fmt.Errorf("unknown defense %q", *defName)
+	}
+
+	cfg := sim.Config{
+		V:            *v,
+		I0:           *i0,
+		ScanRate:     *rate,
+		Defense:      d,
+		Horizon:      *horizon,
+		MaxInfected:  *maxInf,
+		PatchRate:    *patchRate,
+		ImmunizeRate: *immunize,
+		Seed:         *seed,
+		Stream:       *stream,
+		RecordPaths:  *path,
+	}
+	if *dutyOn > 0 {
+		cfg.DutyCycle = &sim.DutyCycleConfig{On: *dutyOn, Off: *dutyOff}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("defense: %s\n", d.Name())
+	fmt.Printf("total infected: %d  removed: %d  peak active: %d\n",
+		res.TotalInfected, res.TotalRemoved, res.PeakActive)
+	fmt.Printf("end: %v  extinct: %v  truncated: %v\n", res.EndTime, res.Extinct, res.Truncated)
+	fmt.Printf("scans: %d (delivered %d, delayed %d, dropped %d)\n",
+		res.TotalScans, res.Delivered, res.Delayed, res.Dropped)
+	if res.Patched > 0 || res.Immunized > 0 {
+		fmt.Printf("countermeasures: patched %d, immunized %d\n", res.Patched, res.Immunized)
+	}
+	fmt.Printf("generations:")
+	for g, n := range res.Generations {
+		fmt.Printf(" %d:%d", g, n)
+	}
+	fmt.Println()
+
+	if *path {
+		fmt.Println("minutes  infected  removed  active")
+		const grid = 60
+		for i := 0; i <= grid; i++ {
+			at := time.Duration(int64(res.EndTime) * int64(i) / grid)
+			fmt.Printf("%8.2f %9.0f %8.0f %7.0f\n",
+				at.Minutes(),
+				res.InfectedSeries.At(at),
+				res.RemovedSeries.At(at),
+				res.ActiveSeries.At(at))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunSmallScenario(t *testing.T) {
+	// A tiny contained run that finishes in milliseconds.
+	args := []string{"-v", "2000", "-i0", "3", "-m", "10", "-rate", "50",
+		"-seed", "5", "-horizon", "5s", "-path"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPresetAndDefenses(t *testing.T) {
+	for _, d := range []string{"mlimit", "throttle", "quarantine"} {
+		args := []string{"-v", "1000", "-i0", "2", "-m", "5", "-rate", "20",
+			"-defense", d, "-horizon", "2s"}
+		if err := run(args); err != nil {
+			t.Fatalf("defense %s: %v", d, err)
+		}
+	}
+}
+
+func TestRunNoneNeedsBound(t *testing.T) {
+	if err := run([]string{"-defense", "none"}); err == nil {
+		t.Error("expected error: unbounded null-defense run")
+	}
+	if err := run([]string{"-v", "500", "-i0", "2", "-defense", "none",
+		"-rate", "20", "-horizon", "2s", "-max-infected", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStealthAndCountermeasures(t *testing.T) {
+	args := []string{"-v", "1000", "-i0", "2", "-m", "8", "-rate", "30",
+		"-duty-on", "1s", "-duty-off", "3s", "-patch-rate", "0.1",
+		"-immunize-rate", "0.01", "-horizon", "5s", "-seed", "9"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-worm", "melissa"},
+		{"-defense", "firewall"},
+		{"-v", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

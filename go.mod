@@ -1,0 +1,3 @@
+module wormcontain
+
+go 1.22

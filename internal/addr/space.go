@@ -1,0 +1,73 @@
+package addr
+
+import (
+	"fmt"
+
+	"wormcontain/internal/rng"
+)
+
+// Population places V vulnerable hosts at distinct pseudo-random
+// addresses of the IPv4 space, exactly as the paper's simulator does
+// ("Our system consists of V susceptible hosts with randomly assigned
+// IPv4 addresses"), and answers the simulator's hot-path question: does
+// a scanned address hit a vulnerable host, and if so which one?
+type Population struct {
+	addrs  []IP       // host index -> address
+	byAddr map[IP]int // address -> host index
+}
+
+// NewPopulation samples v distinct addresses uniformly from the IPv4
+// space using src. Optionally the hosts can be clustered: with
+// clusterPrefix non-nil, addresses are drawn uniformly inside that
+// prefix, modelling an enterprise network (used by the enterprise
+// example and the preference-scan ablation).
+func NewPopulation(v int, clusterPrefix *Prefix, src rng.Source) (*Population, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("addr: population size %d, must be >= 1", v)
+	}
+	var base IP
+	var size uint64 = SpaceSize
+	if clusterPrefix != nil {
+		base = clusterPrefix.Net
+		size = clusterPrefix.Size()
+		if uint64(v) > size {
+			return nil, fmt.Errorf("addr: population %d exceeds prefix %v capacity %d",
+				v, clusterPrefix, size)
+		}
+	}
+	// For v << size, rejection sampling of distinct addresses is fast;
+	// density in the paper's scenarios is <= 1e-4.
+	p := &Population{
+		addrs:  make([]IP, 0, v),
+		byAddr: make(map[IP]int, v),
+	}
+	for len(p.addrs) < v {
+		ip := base + IP(rng.Uint64n(src, size))
+		if _, dup := p.byAddr[ip]; dup {
+			continue
+		}
+		p.byAddr[ip] = len(p.addrs)
+		p.addrs = append(p.addrs, ip)
+	}
+	return p, nil
+}
+
+// Size returns the number of vulnerable hosts.
+func (p *Population) Size() int { return len(p.addrs) }
+
+// Addr returns the address of host i.
+func (p *Population) Addr(i int) IP { return p.addrs[i] }
+
+// Lookup reports whether ip belongs to a vulnerable host and returns its
+// index. This is the simulator's per-scan hit test.
+func (p *Population) Lookup(ip IP) (int, bool) {
+	i, ok := p.byAddr[ip]
+	return i, ok
+}
+
+// Addrs returns a copy of all host addresses (index order).
+func (p *Population) Addrs() []IP {
+	out := make([]IP, len(p.addrs))
+	copy(out, p.addrs)
+	return out
+}

@@ -1,0 +1,110 @@
+package addr
+
+import (
+	"testing"
+
+	"wormcontain/internal/rng"
+)
+
+func TestNewPopulationDistinctAddresses(t *testing.T) {
+	src := rng.NewPCG64(1, 0)
+	pop, err := NewPopulation(10000, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Size() != 10000 {
+		t.Fatalf("size = %d", pop.Size())
+	}
+	seen := make(map[IP]bool, 10000)
+	for i := 0; i < pop.Size(); i++ {
+		ip := pop.Addr(i)
+		if seen[ip] {
+			t.Fatalf("duplicate address %v", ip)
+		}
+		seen[ip] = true
+	}
+}
+
+func TestPopulationLookup(t *testing.T) {
+	src := rng.NewPCG64(2, 0)
+	pop, err := NewPopulation(1000, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pop.Size(); i++ {
+		got, ok := pop.Lookup(pop.Addr(i))
+		if !ok || got != i {
+			t.Fatalf("lookup(%v) = (%d, %v), want (%d, true)", pop.Addr(i), got, ok, i)
+		}
+	}
+	// A miss: find an address not in the map.
+	probe := IP(0)
+	for {
+		if _, ok := pop.Lookup(probe); !ok {
+			break
+		}
+		probe++
+	}
+	if _, ok := pop.Lookup(probe); ok {
+		t.Error("expected miss")
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	src := rng.NewPCG64(3, 0)
+	if _, err := NewPopulation(0, nil, src); err == nil {
+		t.Error("expected error for v = 0")
+	}
+	tiny, _ := NewPrefix(0, 30) // 4 addresses
+	if _, err := NewPopulation(5, &tiny, src); err == nil {
+		t.Error("expected error when v exceeds prefix capacity")
+	}
+}
+
+func TestNewPopulationClustered(t *testing.T) {
+	src := rng.NewPCG64(4, 0)
+	pfx, _ := ParsePrefix("10.0.0.0/8")
+	pop, err := NewPopulation(5000, &pfx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pop.Size(); i++ {
+		if !pfx.Contains(pop.Addr(i)) {
+			t.Fatalf("host %d at %v escapes %v", i, pop.Addr(i), pfx)
+		}
+	}
+}
+
+func TestNewPopulationFullPrefix(t *testing.T) {
+	// Exactly filling a small prefix must terminate (every address used).
+	src := rng.NewPCG64(5, 0)
+	pfx, _ := NewPrefix(0x0a000000, 28) // 16 addresses
+	pop, err := NewPopulation(16, &pfx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Size() != 16 {
+		t.Fatalf("size = %d", pop.Size())
+	}
+}
+
+func TestPopulationAddrsIsCopy(t *testing.T) {
+	src := rng.NewPCG64(6, 0)
+	pop, _ := NewPopulation(10, nil, src)
+	addrs := pop.Addrs()
+	orig := pop.Addr(0)
+	addrs[0] = orig + 1
+	if pop.Addr(0) != orig {
+		t.Error("Addrs() must return a defensive copy")
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a, _ := NewPopulation(500, nil, rng.NewPCG64(7, 0))
+	b, _ := NewPopulation(500, nil, rng.NewPCG64(7, 0))
+	for i := 0; i < 500; i++ {
+		if a.Addr(i) != b.Addr(i) {
+			t.Fatalf("population not reproducible at host %d", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkAnalyze(b *testing.B) {
+	w := CodeRed(10000, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignM(b *testing.B) {
+	w := CodeRed(0, 10)
+	target := ContainmentTarget{MaxTotalInfected: 150, Confidence: 0.95}
+	for i := 0; i < b.N; i++ {
+		if _, err := DesignM(w, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLimiterObserve measures the per-connection cost of the
+// containment engine's hot path (repeat destination: no allocation).
+func BenchmarkLimiterObserve(b *testing.B) {
+	l, err := NewLimiter(LimiterConfig{M: 5000, Cycle: 30 * 24 * time.Hour}, t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.Observe(1, 42, t0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Observe(1, 42, t0)
+	}
+}
+
+// BenchmarkLimiterObserveDistinct measures the new-destination path.
+func BenchmarkLimiterObserveDistinct(b *testing.B) {
+	l, err := NewLimiter(LimiterConfig{M: 1 << 30, Cycle: 30 * 24 * time.Hour}, t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Observe(1, uint32(i), t0)
+	}
+}
+
+func BenchmarkLimiterMarshalState(b *testing.B) {
+	l, err := NewLimiter(LimiterConfig{M: 5000, Cycle: 30 * 24 * time.Hour}, t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for src := uint32(0); src < 100; src++ {
+		for dst := uint32(0); dst < 50; dst++ {
+			l.Observe(src, dst, t0)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.MarshalState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

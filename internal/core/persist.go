@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Containment cycles span weeks or months (Section IV), so a limiter's
+// counters must survive process restarts: losing them would silently
+// refund every host's scan budget mid-cycle. This file provides a
+// versioned, deterministic JSON snapshot of the limiter state and its
+// inverse.
+
+// limiterStateVersion guards against decoding snapshots from an
+// incompatible future layout.
+const limiterStateVersion = 1
+
+// limiterState is the serialized form. All fields are exported for
+// encoding/json but the type itself stays private: the snapshot is a
+// persistence format, not an API.
+type limiterState struct {
+	Version       int             `json:"version"`
+	M             int             `json:"m"`
+	CycleMillis   int64           `json:"cycleMillis"`
+	CheckFraction float64         `json:"checkFraction"`
+	EpochUnixMs   int64           `json:"epochUnixMillis"`
+	CycleIndex    uint64          `json:"cycleIndex"`
+	TotalRemovals int             `json:"totalRemovals"`
+	TotalFlags    int             `json:"totalFlags"`
+	TotalDenied   int             `json:"totalDenied"`
+	Hosts         []limiterHostJS `json:"hosts"`
+}
+
+// limiterHostJS is one host's serialized counters.
+type limiterHostJS struct {
+	Src      uint32   `json:"src"`
+	Distinct []uint32 `json:"distinct"`
+	Removed  bool     `json:"removed,omitempty"`
+	Flagged  bool     `json:"flagged,omitempty"`
+}
+
+// MarshalState serializes the limiter's complete state (configuration,
+// cycle position, per-host counters) as deterministic JSON: hosts and
+// destination sets are sorted, so identical states produce identical
+// bytes — snapshot diffing and content-addressed storage work.
+func (l *Limiter) MarshalState() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	st := limiterState{
+		Version:       limiterStateVersion,
+		M:             l.cfg.M,
+		CycleMillis:   l.cfg.Cycle.Milliseconds(),
+		CheckFraction: l.cfg.CheckFraction,
+		EpochUnixMs:   l.epoch.UnixMilli(),
+		CycleIndex:    l.cycleIndex,
+		TotalRemovals: l.totalRemovals,
+		TotalFlags:    l.totalFlags,
+		TotalDenied:   l.totalDenied,
+		Hosts:         make([]limiterHostJS, 0, len(l.hosts)),
+	}
+	for src, h := range l.hosts {
+		dsts := make([]uint32, 0, len(h.distinct))
+		for d := range h.distinct {
+			dsts = append(dsts, d)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		st.Hosts = append(st.Hosts, limiterHostJS{
+			Src:      src,
+			Distinct: dsts,
+			Removed:  h.removed,
+			Flagged:  h.flagged,
+		})
+	}
+	sort.Slice(st.Hosts, func(i, j int) bool { return st.Hosts[i].Src < st.Hosts[j].Src })
+	return json.Marshal(st)
+}
+
+// RestoreLimiter rebuilds a limiter from a MarshalState snapshot. The
+// restored limiter continues the same containment cycle: epoch, cycle
+// index, per-host distinct sets, removal/flag marks and cumulative
+// counters all carry over.
+func RestoreLimiter(data []byte) (*Limiter, error) {
+	var st limiterState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: decode limiter snapshot: %w", err)
+	}
+	if st.Version != limiterStateVersion {
+		return nil, fmt.Errorf("core: limiter snapshot version %d, want %d",
+			st.Version, limiterStateVersion)
+	}
+	cfg := LimiterConfig{
+		M:             st.M,
+		Cycle:         time.Duration(st.CycleMillis) * time.Millisecond,
+		CheckFraction: st.CheckFraction,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: limiter snapshot config: %w", err)
+	}
+	l := &Limiter{
+		cfg:           cfg,
+		epoch:         time.UnixMilli(st.EpochUnixMs).UTC(),
+		cycleIndex:    st.CycleIndex,
+		hosts:         make(map[uint32]*hostState, len(st.Hosts)),
+		totalRemovals: st.TotalRemovals,
+		totalFlags:    st.TotalFlags,
+		totalDenied:   st.TotalDenied,
+	}
+	for _, h := range st.Hosts {
+		if len(h.Distinct) > st.M {
+			return nil, fmt.Errorf("core: limiter snapshot host %d has %d distinct > M=%d",
+				h.Src, len(h.Distinct), st.M)
+		}
+		hs := &hostState{
+			distinct: make(map[uint32]struct{}, len(h.Distinct)),
+			removed:  h.Removed,
+			flagged:  h.Flagged,
+		}
+		for _, d := range h.Distinct {
+			hs.distinct[d] = struct{}{}
+		}
+		if _, dup := l.hosts[h.Src]; dup {
+			return nil, fmt.Errorf("core: limiter snapshot duplicates host %d", h.Src)
+		}
+		l.hosts[h.Src] = hs
+	}
+	return l, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestLimiterSnapshotRoundTrip(t *testing.T) {
+	l := newTestLimiter(t, LimiterConfig{M: 3, Cycle: 30 * 24 * time.Hour, CheckFraction: 0.5})
+	// Build interesting state: host 1 partially used, host 2 removed,
+	// host 3 flagged.
+	l.Observe(1, 100, t0)
+	l.Observe(1, 101, t0)
+	l.Observe(2, 1, t0)
+	l.Observe(2, 2, t0)
+	l.Observe(2, 3, t0)
+	l.Observe(2, 4, t0) // removal
+	l.Observe(3, 9, t0)
+	l.Observe(3, 10, t0) // crosses f·M = 1.5 at the first, flagged already
+
+	data, err := l.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreLimiter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Config() != l.Config() {
+		t.Errorf("config changed: %+v vs %+v", restored.Config(), l.Config())
+	}
+	if got := restored.DistinctCount(1); got != 2 {
+		t.Errorf("host 1 count = %d, want 2", got)
+	}
+	if !restored.Removed(2) {
+		t.Error("host 2 removal lost")
+	}
+	if restored.Removed(1) || restored.Removed(3) {
+		t.Error("spurious removals after restore")
+	}
+	s1, s2 := l.Snapshot(), restored.Snapshot()
+	if s1 != s2 {
+		t.Errorf("stats changed: %+v vs %+v", s1, s2)
+	}
+
+	// Behaviour continues seamlessly: host 1 has one distinct left.
+	if d := restored.Observe(1, 102, t0.Add(time.Minute)); d == Deny {
+		t.Error("host 1 should have budget left")
+	}
+	if d := restored.Observe(1, 103, t0.Add(time.Minute)); d != Deny {
+		t.Errorf("host 1 over budget after restore: %v", d)
+	}
+}
+
+func TestLimiterSnapshotDeterministic(t *testing.T) {
+	build := func() *Limiter {
+		l := newTestLimiter(t, LimiterConfig{M: 10, Cycle: time.Hour})
+		// Insert in different orders across builds via map iteration in
+		// the limiter is irrelevant — marshal must sort.
+		for src := uint32(5); src > 0; src-- {
+			for dst := uint32(50); dst > 45; dst-- {
+				l.Observe(src, dst, t0)
+			}
+		}
+		return l
+	}
+	a, err := build().MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("snapshots of identical states differ")
+	}
+}
+
+func TestLimiterSnapshotPreservesCyclePosition(t *testing.T) {
+	l := newTestLimiter(t, LimiterConfig{M: 5, Cycle: time.Hour})
+	// Advance two cycles.
+	l.Observe(1, 1, t0.Add(2*time.Hour+time.Minute))
+	if got := l.CycleIndex(); got != 2 {
+		t.Fatalf("cycle index = %d", got)
+	}
+	data, err := l.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreLimiter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.CycleIndex(); got != 2 {
+		t.Errorf("restored cycle index = %d, want 2", got)
+	}
+	// The next cycle boundary is preserved: an observation 30 minutes
+	// later stays in cycle 2; one 65 minutes later rolls to cycle 3.
+	restored.Observe(1, 2, t0.Add(2*time.Hour+31*time.Minute))
+	if got := restored.CycleIndex(); got != 2 {
+		t.Errorf("cycle index after in-cycle observation = %d, want 2", got)
+	}
+	restored.Observe(1, 3, t0.Add(3*time.Hour+5*time.Minute))
+	if got := restored.CycleIndex(); got != 3 {
+		t.Errorf("cycle index after boundary = %d, want 3", got)
+	}
+}
+
+func TestRestoreLimiterRejectsBadSnapshots(t *testing.T) {
+	good := newTestLimiter(t, LimiterConfig{M: 2, Cycle: time.Hour})
+	good.Observe(1, 1, t0)
+	data, err := good.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := map[string][]byte{
+		"not json":      []byte("{"),
+		"wrong version": corrupt(func(m map[string]any) { m["version"] = 99 }),
+		"bad config":    corrupt(func(m map[string]any) { m["m"] = 0 }),
+		"overfull host": corrupt(func(m map[string]any) {
+			m["hosts"] = []any{map[string]any{
+				"src": 1, "distinct": []any{1, 2, 3}, // 3 > M=2
+			}}
+		}),
+		"duplicate host": corrupt(func(m map[string]any) {
+			m["hosts"] = []any{
+				map[string]any{"src": 1, "distinct": []any{1}},
+				map[string]any{"src": 1, "distinct": []any{2}},
+			}
+		}),
+	}
+	for name, bad := range cases {
+		if _, err := RestoreLimiter(bad); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLimiterSnapshotEmpty(t *testing.T) {
+	l := newTestLimiter(t, LimiterConfig{M: 5, Cycle: time.Hour})
+	data, err := l.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreLimiter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := restored.Snapshot(); s.ActiveHosts != 0 {
+		t.Errorf("restored empty limiter has %d hosts", s.ActiveHosts)
+	}
+}

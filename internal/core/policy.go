@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Decision is the limiter's verdict on one observed connection attempt.
+type Decision int
+
+const (
+	// Allow: the destination is within the host's scan budget (either
+	// already contacted this cycle, or a new address below the limit).
+	Allow Decision = iota + 1
+
+	// AllowAndCheck: allowed, but the host has crossed the fraction-f
+	// warning threshold of Section IV and should undergo a complete
+	// checking process ("if the number of scans originating from a host
+	// is getting close to the threshold ... the host goes through a
+	// complete checking process").
+	AllowAndCheck
+
+	// Deny: the host has exhausted its M distinct destinations for this
+	// containment cycle and is removed pending a heavy-duty check.
+	Deny
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Allow:
+		return "allow"
+	case AllowAndCheck:
+		return "allow+check"
+	case Deny:
+		return "deny"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// LimiterConfig parameterizes the automated containment system of
+// Section IV.
+type LimiterConfig struct {
+	// M is the maximum number of distinct destination addresses a host
+	// may contact within one containment cycle (step 1 of the scheme).
+	M int
+
+	// Cycle is the containment-cycle duration — "a fixed but relatively
+	// long duration, e.g. a month" (step 2). At each cycle boundary all
+	// counters reset (step 4).
+	Cycle time.Duration
+
+	// CheckFraction is the early-warning fraction f in (0, 1]: a host
+	// whose distinct-destination count reaches f·M is flagged for a
+	// complete checking process while still being allowed to
+	// communicate. Zero disables flagging.
+	CheckFraction float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c LimiterConfig) Validate() error {
+	switch {
+	case c.M < 1:
+		return fmt.Errorf("core: limiter M = %d, must be >= 1", c.M)
+	case c.Cycle <= 0:
+		return fmt.Errorf("core: containment cycle %v, must be > 0", c.Cycle)
+	case c.CheckFraction < 0 || c.CheckFraction > 1:
+		return fmt.Errorf("core: check fraction %v, must be in [0, 1]", c.CheckFraction)
+	}
+	return nil
+}
+
+// hostState tracks one host within the current containment cycle.
+type hostState struct {
+	distinct map[uint32]struct{} // destinations contacted this cycle
+	removed  bool                // hit M and awaits heavy-duty check
+	flagged  bool                // crossed f·M this cycle
+}
+
+// Limiter is the runtime containment engine: it watches (source,
+// destination) pairs with timestamps, counts distinct destinations per
+// source per containment cycle, flags sources near the limit and removes
+// sources at the limit. It is safe for concurrent use.
+//
+// Time is supplied by the caller on every observation, so the limiter
+// works identically under the discrete-event simulator's virtual clock
+// and under wall-clock deployment.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu         sync.Mutex
+	epoch      time.Time // start of the current containment cycle
+	cycleIndex uint64
+	hosts      map[uint32]*hostState
+
+	// cumulative statistics across all cycles
+	totalRemovals int
+	totalFlags    int
+	totalDenied   int
+}
+
+// NewLimiter returns a limiter whose first containment cycle starts at
+// start.
+func NewLimiter(cfg LimiterConfig, start time.Time) (*Limiter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Limiter{
+		cfg:   cfg,
+		epoch: start,
+		hosts: make(map[uint32]*hostState),
+	}, nil
+}
+
+// Config returns the limiter's configuration.
+func (l *Limiter) Config() LimiterConfig { return l.cfg }
+
+// Observe records that host src attempted to contact destination dst at
+// time t and returns the containment decision. Repeat contacts to an
+// already-seen destination never consume budget (the counter tracks
+// *unique* addresses, the property that distinguishes the scheme from
+// rate limiting). Observations are expected in non-decreasing time
+// order; an observation in a later cycle first rolls the cycle over,
+// resetting all counters and reinstating removed hosts (step 4: hosts
+// are checked at cycle end and their counters reset).
+func (l *Limiter) Observe(src, dst uint32, t time.Time) Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rollCycleLocked(t)
+
+	h := l.hosts[src]
+	if h == nil {
+		h = &hostState{distinct: make(map[uint32]struct{})}
+		l.hosts[src] = h
+	}
+	if h.removed {
+		l.totalDenied++
+		return Deny
+	}
+	if _, seen := h.distinct[dst]; seen {
+		return Allow
+	}
+	if len(h.distinct) >= l.cfg.M {
+		// Budget exhausted: the new-destination attempt removes the host.
+		h.removed = true
+		l.totalRemovals++
+		l.totalDenied++
+		return Deny
+	}
+	h.distinct[dst] = struct{}{}
+
+	if f := l.cfg.CheckFraction; f > 0 && !h.flagged &&
+		float64(len(h.distinct)) >= f*float64(l.cfg.M) {
+		h.flagged = true
+		l.totalFlags++
+		return AllowAndCheck
+	}
+	return Allow
+}
+
+// rollCycleLocked advances the containment cycle to contain t, resetting
+// all per-host state once per boundary crossed. Counters clear and
+// removed hosts re-enter with a zero counter, mirroring steps 3–4 of the
+// paper's scheme.
+func (l *Limiter) rollCycleLocked(t time.Time) {
+	elapsed := t.Sub(l.epoch)
+	if elapsed < l.cfg.Cycle {
+		return
+	}
+	steps := uint64(elapsed / l.cfg.Cycle)
+	l.cycleIndex += steps
+	l.epoch = l.epoch.Add(time.Duration(steps) * l.cfg.Cycle)
+	l.hosts = make(map[uint32]*hostState)
+}
+
+// Reinstate puts a removed host back into service with a fresh counter,
+// modelling the successful completion of the heavy-duty checking process
+// before the cycle ends. Reinstating an unknown or non-removed host is a
+// no-op; it reports whether the host was actually reinstated.
+func (l *Limiter) Reinstate(src uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.hosts[src]
+	if h == nil || !h.removed {
+		return false
+	}
+	h.removed = false
+	h.flagged = false
+	h.distinct = make(map[uint32]struct{})
+	return true
+}
+
+// Removed reports whether the host is currently removed.
+func (l *Limiter) Removed(src uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.hosts[src]
+	return h != nil && h.removed
+}
+
+// DistinctCount returns the number of unique destinations the host has
+// contacted in the current cycle.
+func (l *Limiter) DistinctCount(src uint32) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.hosts[src]
+	if h == nil {
+		return 0
+	}
+	return len(h.distinct)
+}
+
+// CycleIndex returns the zero-based index of the current containment
+// cycle.
+func (l *Limiter) CycleIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cycleIndex
+}
+
+// Stats is a snapshot of the limiter's cumulative counters.
+type Stats struct {
+	// ActiveHosts is the number of hosts with state in the current cycle.
+	ActiveHosts int
+	// RemovedHosts is the number of currently removed hosts.
+	RemovedHosts int
+	// FlaggedHosts is the number of hosts flagged this cycle.
+	FlaggedHosts int
+	// TotalRemovals counts removals across all cycles.
+	TotalRemovals int
+	// TotalFlags counts fraction-f flags across all cycles.
+	TotalFlags int
+	// TotalDenied counts denied connection attempts across all cycles.
+	TotalDenied int
+}
+
+// Snapshot returns the current statistics.
+func (l *Limiter) Snapshot() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		ActiveHosts:   len(l.hosts),
+		TotalRemovals: l.totalRemovals,
+		TotalFlags:    l.totalFlags,
+		TotalDenied:   l.totalDenied,
+	}
+	for _, h := range l.hosts {
+		if h.removed {
+			s.RemovedHosts++
+		}
+		if h.flagged {
+			s.FlaggedHosts++
+		}
+	}
+	return s
+}
+
+// TopCounts returns the n largest distinct-destination counts in the
+// current cycle, descending — the quantity plotted for the six most
+// active LBL hosts in Fig. 6.
+func (l *Limiter) TopCounts(n int) []int {
+	l.mu.Lock()
+	counts := make([]int, 0, len(l.hosts))
+	for _, h := range l.hosts {
+		counts = append(counts, len(h.distinct))
+	}
+	l.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if n < len(counts) {
+		counts = counts[:n]
+	}
+	return counts
+}

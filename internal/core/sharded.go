@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardedLimiter partitions hosts across independent Limiters by a hash
+// of the source address, eliminating lock contention on multicore
+// enforcement points (a busy egress gateway consults the limiter on
+// every connection). Correctness is unaffected: the scheme's state is
+// strictly per-source, so any source-stable partition preserves
+// semantics exactly.
+type ShardedLimiter struct {
+	shards []*Limiter
+	mask   uint32
+}
+
+// NewShardedLimiter creates 2^log2Shards independent shards with the
+// same configuration and epoch. log2Shards in [0, 12].
+func NewShardedLimiter(cfg LimiterConfig, start time.Time, log2Shards int) (*ShardedLimiter, error) {
+	if log2Shards < 0 || log2Shards > 12 {
+		return nil, fmt.Errorf("core: log2Shards = %d, must be in [0, 12]", log2Shards)
+	}
+	n := 1 << log2Shards
+	s := &ShardedLimiter{
+		shards: make([]*Limiter, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range s.shards {
+		lim, err := NewLimiter(cfg, start)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = lim
+	}
+	return s, nil
+}
+
+// shardFor hashes the source onto a shard. The multiplier is the 32-bit
+// golden-ratio constant; sequential addresses spread uniformly.
+func (s *ShardedLimiter) shardFor(src uint32) *Limiter {
+	return s.shards[(src*0x9e3779b9)>>16&s.mask]
+}
+
+// Shards returns the shard count.
+func (s *ShardedLimiter) Shards() int { return len(s.shards) }
+
+// Config returns the shared configuration.
+func (s *ShardedLimiter) Config() LimiterConfig { return s.shards[0].Config() }
+
+// Observe delegates to the source's shard.
+func (s *ShardedLimiter) Observe(src, dst uint32, t time.Time) Decision {
+	return s.shardFor(src).Observe(src, dst, t)
+}
+
+// Removed delegates to the source's shard.
+func (s *ShardedLimiter) Removed(src uint32) bool {
+	return s.shardFor(src).Removed(src)
+}
+
+// Reinstate delegates to the source's shard.
+func (s *ShardedLimiter) Reinstate(src uint32) bool {
+	return s.shardFor(src).Reinstate(src)
+}
+
+// DistinctCount delegates to the source's shard.
+func (s *ShardedLimiter) DistinctCount(src uint32) int {
+	return s.shardFor(src).DistinctCount(src)
+}
+
+// Snapshot sums the per-shard statistics.
+func (s *ShardedLimiter) Snapshot() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		st := sh.Snapshot()
+		out.ActiveHosts += st.ActiveHosts
+		out.RemovedHosts += st.RemovedHosts
+		out.FlaggedHosts += st.FlaggedHosts
+		out.TotalRemovals += st.TotalRemovals
+		out.TotalFlags += st.TotalFlags
+		out.TotalDenied += st.TotalDenied
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestSharded(t *testing.T, cfg LimiterConfig, log2 int) *ShardedLimiter {
+	t.Helper()
+	s, err := NewShardedLimiter(cfg, t0, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedValidation(t *testing.T) {
+	cfg := LimiterConfig{M: 5, Cycle: time.Hour}
+	if _, err := NewShardedLimiter(cfg, t0, -1); err == nil {
+		t.Error("expected error for negative log2Shards")
+	}
+	if _, err := NewShardedLimiter(cfg, t0, 13); err == nil {
+		t.Error("expected error for log2Shards > 12")
+	}
+	if _, err := NewShardedLimiter(LimiterConfig{}, t0, 2); err == nil {
+		t.Error("expected error for invalid limiter config")
+	}
+	s := newTestSharded(t, cfg, 3)
+	if s.Shards() != 8 {
+		t.Errorf("shards = %d, want 8", s.Shards())
+	}
+	if s.Config() != cfg {
+		t.Errorf("config = %+v", s.Config())
+	}
+}
+
+func TestShardedSemanticsMatchSingle(t *testing.T) {
+	// The sharded limiter must be observationally identical to a single
+	// limiter on any per-source workload.
+	cfg := LimiterConfig{M: 4, Cycle: time.Hour, CheckFraction: 0.5}
+	single := newTestLimiter(t, cfg)
+	sharded := newTestSharded(t, cfg, 4)
+
+	// A deterministic workload across many sources.
+	for step := 0; step < 2000; step++ {
+		src := uint32(step % 37)
+		dst := uint32(step % 11)
+		at := t0.Add(time.Duration(step) * time.Second)
+		a := single.Observe(src, dst, at)
+		b := sharded.Observe(src, dst, at)
+		if a != b {
+			t.Fatalf("step %d: single %v vs sharded %v", step, a, b)
+		}
+	}
+	s1, s2 := single.Snapshot(), sharded.Snapshot()
+	if s1 != s2 {
+		t.Errorf("stats diverge: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestShardedDelegation(t *testing.T) {
+	s := newTestSharded(t, LimiterConfig{M: 1, Cycle: time.Hour}, 2)
+	s.Observe(9, 1, t0)
+	if got := s.DistinctCount(9); got != 1 {
+		t.Errorf("count = %d", got)
+	}
+	s.Observe(9, 2, t0) // removal
+	if !s.Removed(9) {
+		t.Error("host should be removed")
+	}
+	if !s.Reinstate(9) {
+		t.Error("reinstate should succeed")
+	}
+	if s.Removed(9) {
+		t.Error("host still removed after reinstate")
+	}
+}
+
+func TestShardedConcurrentThroughput(t *testing.T) {
+	s := newTestSharded(t, LimiterConfig{M: 1 << 20, Cycle: time.Hour}, 4)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.Observe(uint32(w*100000+i%100), uint32(i), t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().ActiveHosts; got != workers*100 {
+		t.Errorf("active hosts = %d, want %d", got, workers*100)
+	}
+}
+
+// The contention benchmarks quantify why sharding exists: many
+// goroutines hammering one mutex vs spread across shards.
+func benchmarkLimiterParallel(b *testing.B, log2Shards int) {
+	s, err := NewShardedLimiter(LimiterConfig{M: 1 << 20, Cycle: time.Hour}, t0, log2Shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-register sources so the hot path is pure map lookups.
+	for src := uint32(0); src < 1024; src++ {
+		s.Observe(src, 1, t0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := uint32(0)
+		for pb.Next() {
+			s.Observe(src&1023, 1, t0)
+			src++
+		}
+	})
+}
+
+func BenchmarkShardedLimiter1Shard(b *testing.B)   { benchmarkLimiterParallel(b, 0) }
+func BenchmarkShardedLimiter16Shards(b *testing.B) { benchmarkLimiterParallel(b, 4) }
+func BenchmarkShardedLimiter64Shards(b *testing.B) { benchmarkLimiterParallel(b, 6) }

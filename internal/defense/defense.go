@@ -1,0 +1,90 @@
+// Package defense implements the containment mechanisms compared in the
+// paper: the authors' total-scan limit (Section IV), Williamson's virus
+// throttle [17], Zou's dynamic quarantine [21], and a null defense as
+// the no-countermeasure baseline. All plug into the worm simulator
+// (package sim) through the Defense interface, so the ablation benches
+// run every mechanism against identical worm workloads.
+package defense
+
+import (
+	"time"
+
+	"wormcontain/internal/addr"
+)
+
+// Action is the defense's verdict on a single outbound connection
+// attempt.
+type Action int
+
+const (
+	// Permit lets the scan proceed immediately.
+	Permit Action = iota + 1
+
+	// Delay lets the scan proceed after Verdict.Delay of queueing —
+	// the rate-throttle behaviour ("scans to unique addresses at a
+	// higher rate are put in a delay queue and ... serviced once per
+	// timeout").
+	Delay
+
+	// Drop blocks the scan; the source is (at least temporarily)
+	// prevented from scanning.
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Permit:
+		return "permit"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	default:
+		return "Action(?)"
+	}
+}
+
+// Verdict combines the action with its delay (meaningful only for
+// Delay).
+type Verdict struct {
+	Action Action
+	Delay  time.Duration
+}
+
+// Defense inspects each outbound scan of a (possibly infected) host and
+// decides its fate. Implementations are driven by the simulator's
+// virtual clock: t is the simulation time of the attempt. Defenses must
+// be deterministic given their construction parameters and call
+// sequence. Implementations need not be goroutine-safe: the simulator is
+// single-threaded.
+type Defense interface {
+	// OnScan is invoked for every outbound connection attempt src→dst
+	// at virtual time t and returns the verdict.
+	OnScan(src, dst addr.IP, t time.Duration) Verdict
+
+	// Blocked reports whether src is currently prevented from scanning
+	// (removed by the M-limit, or inside a quarantine window).
+	Blocked(src addr.IP, t time.Duration) bool
+
+	// Name identifies the mechanism in benchmark output.
+	Name() string
+}
+
+// Null is the no-defense baseline: every scan is permitted. It gives the
+// uncontained epidemic curves that deterministic models (package
+// epidemic) are validated against.
+type Null struct{}
+
+var _ Defense = Null{}
+
+// OnScan always permits.
+func (Null) OnScan(_, _ addr.IP, _ time.Duration) Verdict {
+	return Verdict{Action: Permit}
+}
+
+// Blocked always reports false.
+func (Null) Blocked(_ addr.IP, _ time.Duration) bool { return false }
+
+// Name implements Defense.
+func (Null) Name() string { return "none" }

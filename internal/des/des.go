@@ -1,0 +1,202 @@
+// Package des is a minimal deterministic discrete-event simulation
+// kernel: a virtual clock and a priority queue of timestamped events.
+// The worm simulator (package sim) schedules every scan as an event, so
+// the paper's continuous-time propagation dynamics (Figs. 9–10) run in
+// O(E log E) with no wall-clock dependence and bit-exact reproducibility.
+//
+// Determinism contract: events fire in (time, scheduling order). Two
+// events at the same virtual instant fire in the order they were
+// scheduled, so a simulation is a pure function of its inputs and RNG
+// seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Handler is the callback invoked when an event fires. It runs on the
+// simulator's single logical thread; it may schedule further events.
+type Handler func()
+
+// Timer identifies a scheduled event and allows cancellation.
+type Timer struct {
+	at       time.Duration
+	seq      uint64
+	handler  Handler
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// At returns the virtual time the timer is scheduled to fire.
+func (t *Timer) At() time.Duration { return t.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op; it reports whether the call
+// actually canceled a pending event.
+func (t *Timer) Cancel() bool {
+	if t.canceled || t.index < 0 {
+		return false
+	}
+	t.canceled = true
+	t.handler = nil // release references early
+	return true
+}
+
+// eventHeap orders timers by (at, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		panic("des: eventHeap.Push received a non-Timer")
+	}
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator is the event loop. The zero value is not usable; construct
+// with New. A Simulator is not safe for concurrent use: the entire
+// simulation runs on one goroutine, which is what makes it deterministic.
+type Simulator struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting in the queue (including
+// canceled ones not yet discarded).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule enqueues fn to run after delay of virtual time. A negative
+// delay is a programming error and panics; a zero delay fires at the
+// current instant, after already-queued events at that instant.
+func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time at, which must
+// not be in the past.
+func (s *Simulator) ScheduleAt(at time.Duration, fn Handler) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v is before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	t := &Timer{at: at, seq: s.seq, handler: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return t
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes. Pending events stay queued; a subsequent Run resumes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event (skipping canceled ones)
+// and advances the clock to it. It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		t, ok := heap.Pop(&s.events).(*Timer)
+		if !ok {
+			panic("des: heap returned a non-Timer")
+		}
+		if t.canceled {
+			continue
+		}
+		s.now = t.at
+		s.fired++
+		h := t.handler
+		t.handler = nil
+		h()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to deadline (if it has not passed it already). Events scheduled
+// beyond the deadline stay queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the timestamp of the earliest non-canceled event.
+func (s *Simulator) peek() (time.Duration, bool) {
+	for len(s.events) > 0 {
+		t := s.events[0]
+		if !t.canceled {
+			return t.at, true
+		}
+		popped, ok := heap.Pop(&s.events).(*Timer)
+		if !ok || popped != t {
+			panic("des: heap invariant violated while draining canceled events")
+		}
+	}
+	return 0, false
+}
+
+// MaxTime is the largest representable virtual time, usable as an
+// effectively infinite deadline.
+const MaxTime = time.Duration(math.MaxInt64)

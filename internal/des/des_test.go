@@ -1,0 +1,245 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", s.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order %v not FIFO", got)
+		}
+	}
+}
+
+func TestHandlersScheduleMoreEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick Handler
+	tick = func() {
+		count++
+		if count < 5 {
+			s.Schedule(time.Second, tick)
+		}
+	}
+	s.Schedule(time.Second, tick)
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestZeroDelayFiresAfterQueuedSameInstant(t *testing.T) {
+	s := New()
+	var got []string
+	s.Schedule(0, func() {
+		got = append(got, "first")
+		s.Schedule(0, func() { got = append(got, "third") })
+	})
+	s.Schedule(0, func() { got = append(got, "second") })
+	s.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule(-time.Second, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.ScheduleAt(500*time.Millisecond, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule(time.Second, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.Schedule(time.Second, func() { fired = true })
+	if !timer.Cancel() {
+		t.Error("first cancel should report true")
+	}
+	if timer.Cancel() {
+		t.Error("second cancel should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Errorf("fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New()
+	timer := s.Schedule(time.Second, func() {})
+	s.Run()
+	if timer.Cancel() {
+		t.Error("cancel after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(5*time.Second, func() { got = append(got, 5) })
+	s.RunUntil(3 * time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s (deadline)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	// Resume to completion.
+	s.Run()
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("after resume got %v", got)
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(2*time.Second, func() { fired = true })
+	s.RunUntil(2 * time.Second)
+	if !fired {
+		t.Error("event exactly at deadline should fire")
+	}
+}
+
+func TestStopInsideHandler(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1*time.Second, func() { count++; s.Stop() })
+	s.Schedule(2*time.Second, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped)", count)
+	}
+	s.Run() // resumes
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+}
+
+func TestPeekSkipsCanceled(t *testing.T) {
+	s := New()
+	early := s.Schedule(1*time.Second, func() {})
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	early.Cancel()
+	s.RunUntil(10 * time.Second)
+	if !fired {
+		t.Error("later event should fire despite canceled earlier event")
+	}
+}
+
+func TestTimerAt(t *testing.T) {
+	s := New()
+	timer := s.Schedule(90*time.Minute, func() {})
+	if timer.At() != 90*time.Minute {
+		t.Errorf("At = %v", timer.At())
+	}
+}
+
+func TestManyEventsHeapStress(t *testing.T) {
+	s := New()
+	const n = 20000
+	var fired int
+	lastTime := time.Duration(-1)
+	// Pseudo-random but deterministic delays via a tiny LCG.
+	state := uint64(12345)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		delay := time.Duration(state % uint64(10*time.Second))
+		s.Schedule(delay, func() {
+			if s.Now() < lastTime {
+				t.Error("clock went backwards")
+			}
+			lastTime = s.Now()
+			fired++
+		})
+	}
+	s.Run()
+	if fired != n {
+		t.Errorf("fired %d of %d", fired, n)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.Schedule(time.Duration(j)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"wormcontain/internal/rng"
+)
+
+// Binomial is the Binomial(N, P) distribution: the number of successes in
+// N independent trials with success probability P. In the worm model this
+// is the offspring distribution ξ of Eq. (2): an infected host performs
+// N = M scans, each finding a vulnerable host with probability
+// P = V / 2^32.
+type Binomial struct {
+	N int     // number of trials (total scans M)
+	P float64 // per-trial success probability (vulnerability density p)
+}
+
+// NewBinomial validates the parameters and returns the distribution.
+func NewBinomial(n int, p float64) (Binomial, error) {
+	if n < 0 {
+		return Binomial{}, fmt.Errorf("dist: binomial trials n = %d, must be >= 0", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return Binomial{}, fmt.Errorf("dist: binomial probability p = %v, must be in [0, 1]", p)
+	}
+	return Binomial{N: n, P: p}, nil
+}
+
+// Mean returns E[ξ] = N·P, the basic reproduction number of the worm when
+// ξ is the offspring law.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Var returns Var[ξ] = N·P·(1−P).
+func (b Binomial) Var() float64 { return float64(b.N) * b.P * (1 - b.P) }
+
+// LogPMF returns ln P{ξ = k}. Values outside [0, N] give -Inf.
+func (b Binomial) LogPMF(k int) float64 {
+	if k < 0 || k > b.N {
+		return math.Inf(-1)
+	}
+	switch b.P {
+	case 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case 1:
+		if k == b.N {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(b.N, k) +
+		float64(k)*math.Log(b.P) +
+		float64(b.N-k)*math.Log1p(-b.P)
+}
+
+// PMF returns P{ξ = k}.
+func (b Binomial) PMF(k int) float64 { return math.Exp(b.LogPMF(k)) }
+
+// CDF returns P{ξ <= k} by direct summation. The paper regime always has
+// negligible mass beyond a few hundred, so summation is cheap; for large k
+// the tail sum is truncated once terms underflow.
+func (b Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.N {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += b.PMF(i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// PGF evaluates the probability generating function
+// φ(s) = E[s^ξ] = (P·s + (1−P))^N of Section III-B.
+func (b Binomial) PGF(s float64) float64 {
+	return math.Pow(b.P*s+(1-b.P), float64(b.N))
+}
+
+// Sample draws one variate. For the worm regime (N large, N·P moderate)
+// it uses the BTPE-free "first waiting time" geometric-skip method, which
+// runs in O(N·P) expected time instead of O(N); for small N it falls back
+// to direct Bernoulli summation.
+func (b Binomial) Sample(src rng.Source) int {
+	switch {
+	case b.P <= 0 || b.N == 0:
+		return 0
+	case b.P >= 1:
+		return b.N
+	case b.N <= 32:
+		// Direct simulation: cheap and exact.
+		k := 0
+		for i := 0; i < b.N; i++ {
+			if src.Float64() < b.P {
+				k++
+			}
+		}
+		return k
+	default:
+		// Geometric skip: successive gaps between successes are
+		// Geometric(P); expected iterations = N·P + 1.
+		logQ := math.Log1p(-b.P)
+		k, i := 0, 0
+		for {
+			// Skip ahead by a Geometric(P) gap.
+			gap := int(math.Log1p(-src.Float64()) / logQ)
+			i += gap + 1
+			if i > b.N {
+				return k
+			}
+			k++
+		}
+	}
+}
+
+// PoissonApprox returns the Poisson distribution with matched mean
+// λ = N·P. Section III-C of the paper uses this approximation ("since p
+// is typically small, ξ can be accurately approximated by a Poisson
+// random variable with mean λ = Mp").
+func (b Binomial) PoissonApprox() Poisson {
+	return Poisson{Lambda: b.Mean()}
+}

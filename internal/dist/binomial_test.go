@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wormcontain/internal/rng"
+)
+
+// Paper parameters used across tests: Code Red vulnerability density.
+const (
+	codeRedV = 360000.0
+	slammerV = 120000.0
+	ipv4     = 1 << 32
+)
+
+func codeRedP() float64 { return codeRedV / ipv4 }
+
+func TestNewBinomialValidation(t *testing.T) {
+	if _, err := NewBinomial(-1, 0.5); err == nil {
+		t.Error("expected error for negative n")
+	}
+	if _, err := NewBinomial(10, -0.1); err == nil {
+		t.Error("expected error for p < 0")
+	}
+	if _, err := NewBinomial(10, 1.1); err == nil {
+		t.Error("expected error for p > 1")
+	}
+	if _, err := NewBinomial(10, math.NaN()); err == nil {
+		t.Error("expected error for NaN p")
+	}
+	if _, err := NewBinomial(10000, codeRedP()); err != nil {
+		t.Errorf("unexpected error for paper parameters: %v", err)
+	}
+}
+
+func TestBinomialMomentsPaperRegime(t *testing.T) {
+	// Code Red with M = 10000: E[ξ] = Mp ≈ 0.838.
+	b := Binomial{N: 10000, P: codeRedP()}
+	wantMean := 10000 * codeRedP()
+	if math.Abs(b.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", b.Mean(), wantMean)
+	}
+	if b.Var() >= b.Mean() {
+		t.Errorf("binomial variance %v must be < mean %v", b.Var(), b.Mean())
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	cases := []Binomial{
+		{N: 10, P: 0.3},
+		{N: 100, P: 0.01},
+		{N: 1000, P: 0.5},
+		{N: 10000, P: codeRedP()},
+	}
+	for _, b := range cases {
+		sum := 0.0
+		for k := 0; k <= b.N; k++ {
+			pk := b.PMF(k)
+			sum += pk
+			if pk < 1e-18 && float64(k) > b.Mean() {
+				break // negligible tail
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("N=%d p=%v: PMF sums to %v", b.N, b.P, sum)
+		}
+	}
+}
+
+func TestBinomialPMFSmallExact(t *testing.T) {
+	// Binomial(3, 0.5): 1/8, 3/8, 3/8, 1/8.
+	b := Binomial{N: 3, P: 0.5}
+	want := []float64{0.125, 0.375, 0.375, 0.125}
+	for k, w := range want {
+		if got := b.PMF(k); math.Abs(got-w) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomialDegenerateCases(t *testing.T) {
+	b0 := Binomial{N: 5, P: 0}
+	if b0.PMF(0) != 1 || b0.PMF(1) != 0 {
+		t.Error("p = 0 should put all mass at k = 0")
+	}
+	b1 := Binomial{N: 5, P: 1}
+	if b1.PMF(5) != 1 || b1.PMF(4) != 0 {
+		t.Error("p = 1 should put all mass at k = N")
+	}
+}
+
+func TestBinomialCDFBounds(t *testing.T) {
+	b := Binomial{N: 100, P: 0.1}
+	if got := b.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := b.CDF(100); got != 1 {
+		t.Errorf("CDF(N) = %v, want 1", got)
+	}
+	if got := b.CDF(1000); got != 1 {
+		t.Errorf("CDF(>N) = %v, want 1", got)
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	b := Binomial{N: 50, P: 0.25}
+	prev := -1.0
+	for k := 0; k <= 50; k++ {
+		c := b.CDF(k)
+		if c < prev {
+			t.Fatalf("CDF not monotone at k = %d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBinomialPGFAtBoundaries(t *testing.T) {
+	b := Binomial{N: 10000, P: codeRedP()}
+	// φ(1) = 1 always; φ(0) = P{ξ = 0}.
+	if got := b.PGF(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PGF(1) = %v, want 1", got)
+	}
+	if got, want := b.PGF(0), b.PMF(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PGF(0) = %v, want PMF(0) = %v", got, want)
+	}
+}
+
+func TestBinomialPGFDerivativeIsMean(t *testing.T) {
+	// φ'(1) = E[ξ]; check by central difference.
+	b := Binomial{N: 5000, P: codeRedP()}
+	const h = 1e-6
+	deriv := (b.PGF(1+h) - b.PGF(1-h)) / (2 * h)
+	if math.Abs(deriv-b.Mean()) > 1e-4*(1+b.Mean()) {
+		t.Errorf("PGF'(1) = %v, want mean %v", deriv, b.Mean())
+	}
+}
+
+func TestBinomialSampleMoments(t *testing.T) {
+	src := rng.NewPCG64(101, 0)
+	cases := []Binomial{
+		{N: 20, P: 0.4},     // small-N direct path
+		{N: 10000, P: 1e-4}, // geometric-skip path, worm regime
+		{N: 500, P: 0.9},    // high p
+	}
+	for _, b := range cases {
+		const n = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(b.Sample(src))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-b.Mean()) > 0.05*(1+b.Mean()) {
+			t.Errorf("N=%d p=%v: sample mean %v, want %v", b.N, b.P, mean, b.Mean())
+		}
+		if math.Abs(variance-b.Var()) > 0.1*(1+b.Var()) {
+			t.Errorf("N=%d p=%v: sample var %v, want %v", b.N, b.P, variance, b.Var())
+		}
+	}
+}
+
+func TestBinomialSampleRange(t *testing.T) {
+	src := rng.NewPCG64(103, 0)
+	b := Binomial{N: 100, P: 0.03}
+	for i := 0; i < 10000; i++ {
+		k := b.Sample(src)
+		if k < 0 || k > b.N {
+			t.Fatalf("sample %d out of [0, %d]", k, b.N)
+		}
+	}
+}
+
+func TestBinomialPoissonApproxClose(t *testing.T) {
+	// Section III-C: for p ≈ 8.4e-5 the Poisson approximation is
+	// accurate. Check total-variation distance of the PMFs is tiny.
+	b := Binomial{N: 10000, P: codeRedP()}
+	po := b.PoissonApprox()
+	tv := 0.0
+	for k := 0; k <= 30; k++ {
+		tv += math.Abs(b.PMF(k) - po.PMF(k))
+	}
+	tv /= 2
+	if tv > 1e-4 {
+		t.Errorf("TV(binomial, poisson) = %v at paper parameters, want < 1e-4", tv)
+	}
+}
+
+// Property: PMF is non-negative and CDF(k) − CDF(k−1) = PMF(k).
+func TestQuickBinomialCDFConsistent(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16, kRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := float64(pRaw) / math.MaxUint16
+		k := int(kRaw) % (n + 1)
+		b := Binomial{N: n, P: p}
+		diff := b.CDF(k) - b.CDF(k-1)
+		return b.PMF(k) >= 0 && math.Abs(diff-b.PMF(k)) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: samples always lie in [0, N].
+func TestQuickBinomialSampleInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, pRaw uint16) bool {
+		n := int(nRaw % 2000)
+		p := float64(pRaw) / math.MaxUint16
+		b := Binomial{N: n, P: p}
+		src := rng.NewSplitMix64(seed)
+		for i := 0; i < 20; i++ {
+			k := b.Sample(src)
+			if k < 0 || k > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

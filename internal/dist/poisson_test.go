@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wormcontain/internal/rng"
+)
+
+func TestNewPoissonValidation(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(bad); err == nil {
+			t.Errorf("expected error for lambda = %v", bad)
+		}
+	}
+	if _, err := NewPoisson(0); err != nil {
+		t.Errorf("lambda = 0 should be valid: %v", err)
+	}
+}
+
+func TestPoissonPMFKnownValues(t *testing.T) {
+	// Poisson(1): P{0} = P{1} = e^-1.
+	p := Poisson{Lambda: 1}
+	e := math.Exp(-1)
+	if got := p.PMF(0); math.Abs(got-e) > 1e-12 {
+		t.Errorf("PMF(0) = %v, want %v", got, e)
+	}
+	if got := p.PMF(1); math.Abs(got-e) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want %v", got, e)
+	}
+	if got := p.PMF(2); math.Abs(got-e/2) > 1e-12 {
+		t.Errorf("PMF(2) = %v, want %v", got, e/2)
+	}
+	if got := p.PMF(-1); got != 0 {
+		t.Errorf("PMF(-1) = %v, want 0", got)
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.1, 0.83, 1, 5, 50} {
+		p := Poisson{Lambda: lambda}
+		sum := 0.0
+		for k := 0; k <= int(lambda)+200; k++ {
+			sum += p.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("lambda %v: PMF sums to %v", lambda, sum)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	p := Poisson{Lambda: 0}
+	if p.PMF(0) != 1 || p.PMF(1) != 0 {
+		t.Error("Poisson(0) should be a point mass at 0")
+	}
+	if p.CDF(0) != 1 {
+		t.Error("Poisson(0) CDF(0) should be 1")
+	}
+	src := rng.NewSplitMix64(1)
+	if p.Sample(src) != 0 {
+		t.Error("Poisson(0) sample should be 0")
+	}
+}
+
+func TestPoissonCDFMatchesPMFSum(t *testing.T) {
+	p := Poisson{Lambda: 0.83} // Code Red λ at M = 10000
+	sum := 0.0
+	for k := 0; k <= 10; k++ {
+		sum += p.PMF(k)
+		if got := p.CDF(k); math.Abs(got-sum) > 1e-12 {
+			t.Errorf("CDF(%d) = %v, want %v", k, got, sum)
+		}
+	}
+}
+
+func TestPoissonPGF(t *testing.T) {
+	p := Poisson{Lambda: 0.83}
+	if got := p.PGF(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PGF(1) = %v, want 1", got)
+	}
+	if got, want := p.PGF(0), math.Exp(-0.83); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PGF(0) = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonSampleMoments(t *testing.T) {
+	src := rng.NewPCG64(201, 0)
+	for _, lambda := range []float64{0.5, 0.83, 10, 100, 1000} {
+		p := Poisson{Lambda: lambda}
+		const n = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(p.Sample(src))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*(1+lambda) {
+			t.Errorf("lambda %v: sample mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*(1+lambda) {
+			t.Errorf("lambda %v: sample var %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonQuantile(t *testing.T) {
+	p := Poisson{Lambda: 0.83}
+	// Quantile must be the smallest k with CDF(k) >= q.
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999} {
+		k := p.Quantile(q)
+		if p.CDF(k) < q {
+			t.Errorf("q=%v: CDF(Quantile) = %v < q", q, p.CDF(k))
+		}
+		if k > 0 && p.CDF(k-1) >= q {
+			t.Errorf("q=%v: Quantile %d not minimal", q, k)
+		}
+	}
+}
+
+func TestPoissonQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q >= 1")
+		}
+	}()
+	Poisson{Lambda: 1}.Quantile(1)
+}
+
+// Property: CDF is within [0,1] and monotone in k.
+func TestQuickPoissonCDFMonotone(t *testing.T) {
+	f := func(lRaw uint16, kRaw uint8) bool {
+		lambda := float64(lRaw) / 1000 // up to ~65
+		p := Poisson{Lambda: lambda}
+		k := int(kRaw % 100)
+		a, b := p.CDF(k), p.CDF(k+1)
+		return a >= 0 && b <= 1+1e-12 && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sampling is deterministic per seed.
+func TestQuickPoissonSampleDeterministic(t *testing.T) {
+	f := func(seed uint64, lRaw uint16) bool {
+		lambda := float64(lRaw) / 500
+		p := Poisson{Lambda: lambda}
+		a := p.Sample(rng.NewSplitMix64(seed))
+		b := p.Sample(rng.NewSplitMix64(seed))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

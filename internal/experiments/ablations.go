@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/defense"
+	"wormcontain/internal/epidemic"
+	"wormcontain/internal/rng"
+	"wormcontain/internal/sim"
+	"wormcontain/internal/stats"
+)
+
+func init() {
+	register("ablation-defense", runAblationDefense)
+	register("ablation-deterministic", runAblationDeterministic)
+	register("ablation-preference", runAblationPreference)
+}
+
+// enterprisePrefix is the address block of the ablation scenarios' model
+// enterprise: 2000 vulnerable hosts inside one /16.
+const enterprisePrefix = "10.50.0.0/16"
+
+// enterpriseConfig builds a worm-in-enterprise DES configuration: the
+// scanner sweeps only the enterprise block, so the vulnerability density
+// is 2000/65536 ≈ 0.03 and outbreaks resolve in seconds of virtual time.
+func enterpriseConfig(scanRate float64, d defense.Defense, seed, stream uint64) (sim.Config, error) {
+	pfx, err := addr.ParsePrefix(enterprisePrefix)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	routable, err := addr.NewRoutable([]addr.Prefix{pfx})
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		V:             2000,
+		I0:            5,
+		ScanRate:      scanRate,
+		Scanner:       routable,
+		Defense:       d,
+		ClusterPrefix: &pfx,
+		MaxInfected:   2000,
+		Seed:          seed,
+		Stream:        stream,
+	}, nil
+}
+
+// runAblationDefense compares the paper's M-limit against the
+// rate-based baselines on a fast worm and a slow worm (A1). The paper's
+// argument: rate throttles stop fast worms but are blind to scanners
+// below the service rate, while the total-scan limit contains both.
+func runAblationDefense(opts Options) (*Result, error) {
+	opts = opts.normalize()
+	runs := 5
+	horizonFast, horizonSlow := 5*time.Minute, 4*time.Hour
+	if opts.Quick {
+		runs = 2
+		horizonFast, horizonSlow = 2*time.Minute, 1*time.Hour
+	}
+
+	// λ = M·p with p = 2000/65536: M = 25 gives λ ≈ 0.76 < 1, inside
+	// the Proposition 1 guarantee (threshold 1/p ≈ 32.8).
+	const mLimit = 25
+
+	type cell struct {
+		worm    string
+		rate    float64
+		horizon time.Duration
+	}
+	worms := []cell{
+		{"fast worm (20 scans/s)", 20, horizonFast},
+		// The slow worm scans at 0.5/s, under the throttle's 1/s
+		// service rate — the paper's "slow scanning worms ... will
+		// however elude detection" case.
+		{"slow worm (0.5 scans/s)", 0.5, horizonSlow},
+	}
+	defenses := []func(stream uint64) (defense.Defense, error){
+		func(uint64) (defense.Defense, error) { return defense.Null{}, nil },
+		func(uint64) (defense.Defense, error) {
+			return defense.NewMLimit(mLimit, 365*24*time.Hour)
+		},
+		func(uint64) (defense.Defense, error) { return defense.NewWilliamsonThrottle(), nil },
+		func(stream uint64) (defense.Defense, error) {
+			return defense.NewQuarantine(0.001, time.Minute, rng.NewPCG64(opts.Seed^0x51a4, stream))
+		},
+	}
+
+	res := &Result{
+		ID:    "ablation-defense",
+		Title: "A1: defense comparison (none / M-limit / throttle / quarantine), fast and slow worms",
+	}
+	for _, w := range worms {
+		var labels []string
+		var means []float64
+		for di, mk := range defenses {
+			totals := make([]int, 0, runs)
+			var name string
+			for r := 0; r < runs; r++ {
+				d, err := mk(uint64(r))
+				if err != nil {
+					return nil, err
+				}
+				name = d.Name()
+				cfg, err := enterpriseConfig(w.rate, d, opts.Seed, uint64(di*1000+r))
+				if err != nil {
+					return nil, err
+				}
+				cfg.Horizon = w.horizon
+				out, err := sim.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				totals = append(totals, out.TotalInfected)
+			}
+			sum, err := stats.SummarizeInts(totals)
+			if err != nil {
+				return nil, err
+			}
+			labels = append(labels, name)
+			means = append(means, sum.Mean)
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s under %s: mean total infected %.1f of 2000 (%.1f%%) over %d runs",
+				w.worm, name, sum.Mean, 100*sum.Mean/2000, runs))
+		}
+		xs := make([]float64, len(means))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		res.Series = append(res.Series, Series{
+			Label: w.worm + " — mean total infected by defense " + fmt.Sprint(labels),
+			X:     xs,
+			Y:     means,
+		})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: the M-limit contains BOTH worms to a handful of hosts; "+
+			"the throttle only slows the fast worm and leaves the slow worm uncontained; "+
+			"no defense saturates the population")
+	return res, nil
+}
+
+// runAblationDeterministic contrasts the deterministic epidemic curves
+// (RCS, two-factor) with the stochastic early phase (A2): the ODE models
+// track only the mean and cannot express the run-to-run variability the
+// branching process predicts.
+func runAblationDeterministic(opts Options) (*Result, error) {
+	opts = opts.normalize()
+	runs := 10
+	horizon := 100 * time.Minute
+	if opts.Quick {
+		runs = 3
+		horizon = 40 * time.Minute
+	}
+
+	// Uncontained Code Red early phase at 6 scans/s.
+	const scanRate = 6.0
+	finals := make([]int, 0, runs)
+	for r := 0; r < runs; r++ {
+		cfg := sim.Config{
+			V:           360000,
+			I0:          10,
+			ScanRate:    scanRate,
+			Horizon:     horizon,
+			MaxInfected: 20000,
+			Seed:        opts.Seed,
+			Stream:      uint64(r),
+		}
+		out, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		finals = append(finals, out.TotalInfected)
+	}
+	sum, err := stats.SummarizeInts(finals)
+	if err != nil {
+		return nil, err
+	}
+
+	rcs := epidemic.RCS{Beta: epidemic.BetaFromScanRate(scanRate), V: 360000, I0: 10}
+	horizonSec := horizon.Seconds()
+
+	// Countermeasure comparison: the two-factor ODE with patching rate γ
+	// against the stochastic engine running the SAME patching process.
+	const gamma = 2e-4 // patch rate per infected host (1/s); ~83 min mean
+	tf := epidemic.TwoFactor{
+		Beta0: epidemic.BetaFromScanRate(scanRate),
+		Gamma: gamma,
+		V:     360000, I0: 10,
+	}
+	tfTraj, err := tf.Integrate(horizonSec, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	tfFinal := tfTraj.States[len(tfTraj.States)-1][0]
+
+	patchedFinals := make([]int, 0, runs)
+	for r := 0; r < runs; r++ {
+		out, err := sim.Run(sim.Config{
+			V:           360000,
+			I0:          10,
+			ScanRate:    scanRate,
+			PatchRate:   gamma,
+			Horizon:     horizon,
+			MaxInfected: 20000,
+			Seed:        opts.Seed ^ 0x9a7c,
+			Stream:      uint64(r),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Active infected at the horizon is the ODE's I(t).
+		patchedFinals = append(patchedFinals, out.TotalInfected-out.TotalRemoved)
+	}
+	patchedSum, err := stats.SummarizeInts(patchedFinals)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "ablation-deterministic",
+		Title: "A2: deterministic epidemic models vs stochastic early phase",
+		Series: []Series{
+			{Label: "stochastic finals (one point per run)",
+				X: irange(len(finals) - 1), Y: intsToFloats(finals)},
+			{Label: "stochastic-with-patching active counts (one point per run)",
+				X: irange(len(patchedFinals) - 1), Y: intsToFloats(patchedFinals)},
+		},
+		Notes: []string{
+			fmt.Sprintf("stochastic I(%v): mean %.1f, std %.1f, min %.0f, max %.0f over %d runs",
+				horizon, sum.Mean, sum.Std, sum.Min, sum.Max, runs),
+			fmt.Sprintf("RCS analytic I(%v) = %.1f — a single number; no variability",
+				horizon, rcs.Analytic(horizonSec)),
+			fmt.Sprintf("two-factor (γ=%.0e) I(%v) = %.1f; stochastic twin with the same "+
+				"patching process: mean %.1f, std %.1f (extinct in some runs: min %.0f)",
+				gamma, horizon, tfFinal, patchedSum.Mean, patchedSum.Std, patchedSum.Min),
+			"the paper's argument: deterministic models capture only the mean and miss " +
+				"the early-phase variance and extinction the branching process (and reality) exhibit",
+		},
+	}
+	return res, nil
+}
+
+// runAblationPreference exercises the Section VI future-work extension
+// (A3): a subnet-preference worm attacking a population clustered in one
+// /8 spreads under an M that would extinguish a uniform scanner, because
+// preference scanning multiplies the effective vulnerability density.
+func runAblationPreference(opts Options) (*Result, error) {
+	opts = opts.normalize()
+	runs := 20
+	if opts.Quick {
+		runs = 5
+	}
+	pfx, err := addr.ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		return nil, err
+	}
+	pref, err := addr.NewSubnetPreference(0.5, 0.375) // Code Red II profile
+	if err != nil {
+		return nil, err
+	}
+	const (
+		v = 5000
+		m = 3000
+	)
+	scanners := []struct {
+		label string
+		s     addr.Scanner
+	}{
+		{"uniform scanning", addr.Uniform{}},
+		{"subnet-preference scanning (0.5 /8, 0.375 /16)", pref},
+	}
+	res := &Result{
+		ID:    "ablation-preference",
+		Title: "A3: preference-scanning worm vs uniform under the same M-limit",
+	}
+	for _, sc := range scanners {
+		totals := make([]int, 0, runs)
+		for r := 0; r < runs; r++ {
+			d, err := defense.NewMLimit(m, 365*24*time.Hour)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				V:             v,
+				I0:            5,
+				ScanRate:      20,
+				Scanner:       sc.s,
+				Defense:       d,
+				ClusterPrefix: &pfx,
+				MaxInfected:   v,
+				Seed:          opts.Seed,
+				Stream:        uint64(r),
+			}
+			out, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			totals = append(totals, out.TotalInfected)
+		}
+		sum, err := stats.SummarizeInts(totals)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: sc.label + " — total infected per run",
+			X:     irange(len(totals) - 1),
+			Y:     intsToFloats(totals),
+		})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: mean total infected %.1f over %d runs", sc.label, sum.Mean, runs))
+	}
+	// Effective reproduction numbers explain the gap.
+	uniformLambda := float64(m) * v / (1 << 32)
+	prefLambda := float64(m) * (0.875*v/(1<<24) + 0.125*v/(1<<32))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("effective λ: uniform %.4f (dies immediately), preference ≈%.3f "+
+			"(spreads); containment of preference worms needs M < 1/p_effective, "+
+			"the paper's proposed future-work extension", uniformLambda, prefLambda))
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/dist"
+)
+
+// The three scan limits Figs. 3–5 sweep.
+var figMs = []int{5000, 7500, 10000}
+
+func init() {
+	register("table1", runTable1)
+	register("fig3", runFig3)
+	register("fig4", runFig4)
+	register("fig5", runFig5)
+	register("claims", runClaims)
+}
+
+// runTable1 reproduces the numeric backbone of Section III: the
+// vulnerability densities, Proposition 1 extinction thresholds 1/p
+// (11 930 / 35 791) and the λ values for the swept Ms.
+func runTable1(opts Options) (*Result, error) {
+	res := &Result{
+		ID:    "table1",
+		Title: "model parameters and Proposition 1 thresholds (Section III)",
+	}
+	for _, w := range []core.WormModel{core.CodeRed(0, 10), core.SQLSlammer(0, 10)} {
+		th := w.ExtinctionThreshold()
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: V=%d p=%.6g 1/p=%.0f (paper: %s)",
+			w.Name, w.V, w.Density(), th,
+			map[string]string{"Code Red": "11930", "SQL Slammer": "35791"}[w.Name]))
+		var xs, ys []float64
+		for _, m := range figMs {
+			w.M = m
+			xs = append(xs, float64(m))
+			ys = append(ys, w.Lambda())
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s M=%d: λ=%.4f guaranteed-extinction=%v π=%.6f",
+				w.Name, m, w.Lambda(), w.GuaranteedExtinction(), w.ExtinctionProbability()))
+		}
+		res.Series = append(res.Series, Series{
+			Label: w.Name + " λ(M)", X: xs, Y: ys,
+		})
+	}
+	return res, nil
+}
+
+// runFig3 reproduces Fig. 3: extinction probability P_n per generation
+// for the Code Red worm, M ∈ {5000, 7500, 10000}, one initial host.
+func runFig3(opts Options) (*Result, error) {
+	const gens = 20
+	res := &Result{
+		ID:    "fig3",
+		Title: "extinction probability per generation, Code Red (Fig. 3)",
+	}
+	for _, m := range figMs {
+		w := core.CodeRed(m, 1)
+		probs, err := w.ExtinctionByGeneration(gens)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("M = %d", m),
+			X:     irange(gens),
+			Y:     probs,
+		})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"M=%d: P_5=%.4f P_10=%.4f P_20=%.4f (smaller M dies out faster)",
+			m, probs[5], probs[10], probs[20]))
+	}
+	return res, nil
+}
+
+// runFig4 reproduces Fig. 4: the Borel–Tanner PMF of total infections
+// for Code Red, I0 = 10, across the M sweep.
+func runFig4(opts Options) (*Result, error) {
+	return borelTannerFigure("fig4", "probability distribution of total infections, Code Red (Fig. 4)", false)
+}
+
+// runFig5 reproduces Fig. 5: the corresponding CDF.
+func runFig5(opts Options) (*Result, error) {
+	return borelTannerFigure("fig5", "cumulative distribution of total infections, Code Red (Fig. 5)", true)
+}
+
+// borelTannerFigure renders the PMF or CDF sweep shared by Figs. 4–5.
+func borelTannerFigure(id, title string, cdf bool) (*Result, error) {
+	const kMax = 300
+	res := &Result{ID: id, Title: title}
+	for _, m := range figMs {
+		w := core.CodeRed(m, 10)
+		bt, err := w.TotalInfections()
+		if err != nil {
+			return nil, err
+		}
+		var ys []float64
+		if cdf {
+			ys = bt.CDFSeries(kMax)
+		} else {
+			ys = bt.PMFSeries(kMax)
+		}
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("M = %d", m),
+			X:     irange(kMax),
+			Y:     ys,
+		})
+		if cdf {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"M=%d: P{I<=50}=%.4f P{I<=150}=%.4f q95=%d q99=%d",
+				m, bt.CDF(50), bt.CDF(150), bt.Quantile(0.95), bt.Quantile(0.99)))
+		} else {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"M=%d: λ=%.4f mode-region mass P{I<=30}=%.4f",
+				m, bt.Lambda, bt.CDF(30)))
+		}
+	}
+	return res, nil
+}
+
+// runClaims verifies every numeric claim stated in the body text of
+// Sections III–V against the model (E12 of DESIGN.md).
+func runClaims(opts Options) (*Result, error) {
+	res := &Result{
+		ID:    "claims",
+		Title: "text claims of Sections III-V: paper-reported vs computed",
+	}
+	note := func(format string, args ...any) {
+		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+	}
+
+	// Proposition 1 thresholds.
+	cr := core.CodeRed(10000, 10)
+	sl := core.SQLSlammer(10000, 10)
+	note("threshold Code Red: paper 11930, computed %.0f", cr.ExtinctionThreshold())
+	note("threshold Slammer:  paper 35791, computed %.0f", sl.ExtinctionThreshold())
+
+	// Section V moments at M = 10000, I0 = 10 (paper rounds λ to 0.83).
+	btExact, err := cr.TotalInfections()
+	if err != nil {
+		return nil, err
+	}
+	btPaper, err := dist.NewBorelTanner(0.83, 10)
+	if err != nil {
+		return nil, err
+	}
+	note("E[I] Code Red M=10000: paper 58 (λ=0.83 → %.1f); exact λ=%.4f → %.1f",
+		btPaper.Mean(), cr.Lambda(), btExact.Mean())
+	note("Var[I]: paper 2035 via I0/(1-λ)^3 = %.0f (std %.0f); textbook I0λ/(1-λ)^3 = %.0f",
+		btPaper.VarPaper(), math.Sqrt(btPaper.VarPaper()), btPaper.Var())
+
+	// "code red will not spread to more than 150, 50, 27 total infected
+	// hosts if ... M is 10000, 7500, 5000" (w.p. ≈0.95–0.97).
+	for _, c := range []struct {
+		m, bound int
+	}{{10000, 150}, {7500, 50}, {5000, 27}} {
+		bt, err := core.BorelTannerFor(core.CodeRed(0, 10), c.m)
+		if err != nil {
+			return nil, err
+		}
+		note("Code Red M=%d: P{I<=%d} = %.4f (paper: ~0.95-0.97)",
+			c.m, c.bound, bt.CDF(c.bound))
+	}
+
+	// Slammer tails: M=10000 → P{I>20}; M=5000 → P{I>14}.
+	bt10k, err := sl.TotalInfections()
+	if err != nil {
+		return nil, err
+	}
+	note("Slammer M=10000: P{I>20} = %.4f (paper: < 0.05)", bt10k.Survival(20))
+	bt5k, err := core.BorelTannerFor(core.SQLSlammer(0, 10), 5000)
+	if err != nil {
+		return nil, err
+	}
+	note("Slammer M=5000: P{I>14} = %.4f (paper: 'high probability' of <= 4 extra)",
+		bt5k.Survival(14))
+
+	// "with probability 0.99 the worm will be contained to less than 360
+	// infected hosts" — 0.1% of the Code Red population at M = 10000.
+	note("Code Red M=10000: P{I<=360} = %.6f (paper: 0.99); q99 = %d",
+		btExact.CDF(360), btExact.Quantile(0.99))
+
+	// Design inversion (Section IV step 1): the M meeting the Fig. 8
+	// guarantee.
+	m, err := core.DesignM(core.CodeRed(0, 10),
+		core.ContainmentTarget{MaxTotalInfected: 150, Confidence: 0.95})
+	if err != nil {
+		return nil, err
+	}
+	note("DesignM(ceiling 150, confidence 0.95) = %d (Fig. 8 reads ≈10000)", m)
+	return res, nil
+}

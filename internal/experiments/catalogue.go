@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormcontain/internal/core"
+)
+
+func init() {
+	register("catalogue", runCatalogue)
+}
+
+// runCatalogue applies the paper's full design pipeline to a catalogue
+// of historical scanning worms beyond the two case studies: for each
+// scenario it reports the vulnerability density, the Proposition 1
+// threshold, and the largest M meeting a fixed operator target
+// (P{I ≤ 100} ≥ 0.99 from 10 seeds) — the generalization the paper's
+// method supports "for worms of arbitrary scanning rate".
+func runCatalogue(opts Options) (*Result, error) {
+	res := &Result{
+		ID:    "catalogue",
+		Title: "containment design across historical worm scenarios",
+	}
+	target := core.ContainmentTarget{MaxTotalInfected: 100, Confidence: 0.99}
+	var xs, thresholds, designed []float64
+	for i, w := range core.Presets(0, 10) {
+		m, err := core.DesignM(w, target)
+		if err != nil {
+			return nil, err
+		}
+		sized := w
+		sized.M = m
+		bt, err := sized.TotalInfections()
+		if err != nil {
+			return nil, err
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: V=%d p=%.3g 1/p=%.0f; M for P{I<=100}>=0.99: %d (E[I]=%.1f, q99=%d)",
+			w.Name, w.V, w.Density(), w.ExtinctionThreshold(), m, bt.Mean(), bt.Quantile(0.99)))
+		xs = append(xs, float64(i))
+		thresholds = append(thresholds, w.ExtinctionThreshold())
+		designed = append(designed, float64(m))
+	}
+	res.Series = append(res.Series,
+		Series{Label: "Proposition-1 threshold 1/p per preset", X: xs, Y: thresholds},
+		Series{Label: "designed M (P{I<=100}>=0.99, I0=10) per preset", X: xs, Y: designed},
+	)
+	res.Notes = append(res.Notes,
+		"ordering insight: the denser the vulnerable population (Sasser ≫ Witty), the "+
+			"tighter the admissible scan budget; the design is one table lookup per scenario")
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// AdminServer exposes a gateway's operational state over HTTP for
+// dashboards and scrapers:
+//
+//	GET /healthz — liveness probe ("ok")
+//	GET /stats   — the GatewayStats snapshot as JSON
+//
+// It is a separate listener from the WCP/1 data path, so operators can
+// firewall the two independently.
+type AdminServer struct {
+	source func() GatewayStats
+	server *http.Server
+	ln     net.Listener
+	done   chan struct{}
+}
+
+// NewAdminServer builds the admin endpoint for the given stats source
+// (typically Gateway.Stats), listening on listenAddr.
+func NewAdminServer(source func() GatewayStats, listenAddr string) (*AdminServer, error) {
+	if source == nil {
+		return nil, errors.New("gateway: admin server needs a stats source")
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: admin listen: %w", err)
+	}
+	a := &AdminServer{
+		source: source,
+		ln:     ln,
+		done:   make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", a.handleHealth)
+	mux.HandleFunc("/stats", a.handleStats)
+	a.server = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return a, nil
+}
+
+// Addr returns the admin endpoint's listen address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Serve runs the HTTP server until Shutdown; it always returns a
+// non-nil error (http.ErrServerClosed after a clean shutdown).
+func (a *AdminServer) Serve() error {
+	defer close(a.done)
+	return a.server.Serve(a.ln)
+}
+
+// Shutdown stops the server and waits for Serve to return.
+func (a *AdminServer) Shutdown() {
+	// Close rather than graceful-shutdown: admin responses are tiny and
+	// idempotent, and Close also unblocks keep-alive connections.
+	if err := a.server.Close(); err != nil {
+		_ = err // the listener is going away regardless
+	}
+	<-a.done
+}
+
+// handleHealth implements GET /healthz.
+func (a *AdminServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStats implements GET /stats.
+func (a *AdminServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(a.source()); err != nil {
+		// Headers are already out; nothing useful left to send.
+		_ = err
+	}
+}

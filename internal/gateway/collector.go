@@ -1,0 +1,233 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Report is one gateway's periodic counter snapshot, serialized as one
+// JSON object per line on the collector connection.
+type Report struct {
+	// GatewayID names the reporting enforcement point.
+	GatewayID string `json:"gatewayId"`
+	// SentAtUnixMillis timestamps the snapshot at the sender.
+	SentAtUnixMillis int64 `json:"sentAtUnixMillis"`
+	// Stats is the gateway's counter snapshot.
+	Stats GatewayStats `json:"stats"`
+}
+
+// Collector aggregates Reports from a fleet of gateways over TCP: the
+// operator-side view of Section IV's monitoring (which hosts crossed
+// f·M, how many were removed, whether the fleet sees an outbreak).
+type Collector struct {
+	listener net.Listener
+
+	mu      sync.Mutex
+	latest  map[string]Report
+	total   int
+	closed  bool
+	badLine int
+
+	wg sync.WaitGroup
+}
+
+// NewCollector returns a collector listening on listenAddr.
+func NewCollector(listenAddr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: collector listen: %w", err)
+	}
+	return &Collector{
+		listener: ln,
+		latest:   make(map[string]Report),
+	}, nil
+}
+
+// Addr returns the collector's listening address.
+func (c *Collector) Addr() string { return c.listener.Addr().String() }
+
+// Serve accepts reporter connections until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed.
+func (c *Collector) Serve() error {
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.consume(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and waits for readers to drain.
+func (c *Collector) Shutdown() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		if err := c.listener.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			_ = err
+		}
+	}
+	c.wg.Wait()
+}
+
+// consume reads newline-delimited JSON reports from one connection.
+func (c *Collector) consume(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 16*1024), 256*1024)
+	for sc.Scan() {
+		var r Report
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.GatewayID == "" {
+			c.mu.Lock()
+			c.badLine++
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		c.latest[r.GatewayID] = r
+		c.total++
+		c.mu.Unlock()
+	}
+}
+
+// ReportsReceived returns the number of valid reports consumed so far.
+func (c *Collector) ReportsReceived() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// BadLines returns the number of malformed report lines seen.
+func (c *Collector) BadLines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.badLine
+}
+
+// Latest returns a copy of the most recent report per gateway.
+func (c *Collector) Latest() map[string]Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Report, len(c.latest))
+	for k, v := range c.latest {
+		out[k] = v
+	}
+	return out
+}
+
+// FleetStats is the aggregate across all reporting gateways.
+type FleetStats struct {
+	Gateways      int
+	Relayed       uint64
+	Denied        uint64
+	Flagged       uint64
+	RemovedHosts  int
+	FlaggedHosts  int
+	TotalRemovals int
+}
+
+// Aggregate sums the latest report of every gateway.
+func (c *Collector) Aggregate() FleetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var f FleetStats
+	f.Gateways = len(c.latest)
+	for _, r := range c.latest {
+		f.Relayed += r.Stats.Relayed
+		f.Denied += r.Stats.Denied
+		f.Flagged += r.Stats.Flagged
+		f.RemovedHosts += r.Stats.Limiter.RemovedHosts
+		f.FlaggedHosts += r.Stats.Limiter.FlaggedHosts
+		f.TotalRemovals += r.Stats.Limiter.TotalRemovals
+	}
+	return f
+}
+
+// Reporter periodically pushes a gateway's stats to a collector. Start
+// it with Run (usually in a goroutine) and stop it with Stop; Stop waits
+// for the loop to exit.
+type Reporter struct {
+	// GatewayID names this gateway in reports.
+	GatewayID string
+	// CollectorAddr is the collector's TCP address.
+	CollectorAddr string
+	// Interval is the reporting period (default 1s).
+	Interval time.Duration
+	// Source supplies the stats snapshot, typically Gateway.Stats.
+	Source func() GatewayStats
+	// Now supplies timestamps; nil means time.Now.
+	Now func() time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Run connects and reports until Stop. It returns the first fatal error
+// (connection loss ends the run; the caller may re-Run a fresh Reporter).
+func (r *Reporter) Run() error {
+	if r.GatewayID == "" || r.CollectorAddr == "" || r.Source == nil {
+		return errors.New("gateway: reporter needs GatewayID, CollectorAddr and Source")
+	}
+	if r.Interval <= 0 {
+		r.Interval = time.Second
+	}
+	if r.Now == nil {
+		r.Now = time.Now
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	defer close(r.done)
+
+	conn, err := net.DialTimeout("tcp", r.CollectorAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("gateway: reporter dial: %w", err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+
+	send := func() error {
+		return enc.Encode(Report{
+			GatewayID:        r.GatewayID,
+			SentAtUnixMillis: r.Now().UnixMilli(),
+			Stats:            r.Source(),
+		})
+	}
+	// Immediate first report so collectors see new gateways promptly.
+	if err := send(); err != nil {
+		return fmt.Errorf("gateway: report: %w", err)
+	}
+	ticker := time.NewTicker(r.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := send(); err != nil {
+				return fmt.Errorf("gateway: report: %w", err)
+			}
+		case <-r.stop:
+			return nil
+		}
+	}
+}
+
+// Stop signals Run to exit and waits for it. Safe to call once Run has
+// started; calling Stop on a never-started reporter is a no-op.
+func (r *Reporter) Stop() {
+	if r.stop == nil {
+		return
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,87 @@
+package gateway_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/core"
+	"wormcontain/internal/gateway"
+)
+
+// Example runs a complete containment gateway on loopback: an echo
+// server stands in for the internet, a client relays through the
+// gateway, and a scanning source is cut off at its M-limit.
+func Example() {
+	// The "internet": a loopback echo server.
+	upstream, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer upstream.Close()
+	go func() {
+		for {
+			conn, err := upstream.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+
+	// The containment gateway: M = 2 distinct destinations per cycle.
+	limiter, err := core.NewLimiter(core.LimiterConfig{
+		M:     2,
+		Cycle: 30 * 24 * time.Hour,
+	}, time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	gw, err := gateway.New(gateway.Config{
+		Limiter: limiter,
+		Dial: func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, upstream.Addr().String(), 5*time.Second)
+		},
+	}, "127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	go func() { _ = gw.Serve() }()
+	defer gw.Shutdown()
+
+	client := gateway.Client{GatewayAddr: gw.Addr(), Timeout: 5 * time.Second}
+	src, dst1, dst2, dst3 := addr.IP(0x0a000001), addr.IP(0xc6336401), addr.IP(0xc6336402), addr.IP(0xc6336403)
+
+	// Two distinct destinations pass and echo...
+	for _, dst := range []addr.IP{dst1, dst2} {
+		conn, _, err := client.Connect(src, dst, 80)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Fprintf(conn, "hello %s", dst)
+		buf := make([]byte, 32)
+		n, _ := conn.Read(buf)
+		fmt.Println(string(buf[:n]))
+		conn.Close()
+	}
+	// ...the third is refused.
+	_, _, err = client.Connect(src, dst3, 80)
+	var denied *gateway.DeniedError
+	if errors.As(err, &denied) {
+		fmt.Println("third destination:", denied.Reason)
+	}
+	// Output:
+	// hello 198.51.100.1
+	// hello 198.51.100.2
+	// third destination: scan-limit-exceeded
+}

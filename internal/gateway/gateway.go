@@ -1,0 +1,333 @@
+// Package gateway turns the paper's containment scheme into deployable
+// network software: a TCP relay that sits at an enforcement point (host
+// agent or LAN egress — the paper argues the scheme "is host based and
+// therefore easier to deploy"), meters each source's distinct
+// destinations through core.Limiter, and relays, flags or refuses
+// connections accordingly. A companion Collector aggregates counter
+// snapshots from a fleet of gateways so operators can watch fraction-f
+// warnings across the network (Section IV's "complete checking process"
+// trigger).
+//
+// Wire protocol (WCP/1, line-oriented, deliberately trivial):
+//
+//	client → gateway:  WCP/1 <src-ipv4> <dst-ipv4> <dst-port>\n
+//	gateway → client:  OK\n     — relayed; bytes now pipe both ways
+//	                   CHECK\n  — relayed, but the source crossed f·M
+//	                   DENY <reason>\n — refused, connection closed
+//
+// The explicit source field supports gateway deployment at a router on
+// behalf of many internal hosts; a host-local agent would fill in its
+// own address.
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/core"
+)
+
+// protocolMagic opens every WCP/1 request line.
+const protocolMagic = "WCP/1"
+
+// Dialer opens the upstream connection for a permitted relay. Injectable
+// for tests and for policy routing; the zero Config uses net.Dial with a
+// timeout.
+type Dialer func(network, address string) (net.Conn, error)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Limiter is the containment engine; required.
+	Limiter *core.Limiter
+	// Dial opens upstream connections; nil means net.DialTimeout with
+	// DialTimeout.
+	Dial Dialer
+	// DialTimeout bounds upstream connection establishment (default 10s).
+	DialTimeout time.Duration
+	// Now supplies time for limiter observations; nil means time.Now.
+	// Injectable so tests and simulations drive a virtual clock.
+	Now func() time.Time
+}
+
+// Gateway is the enforcement point. Create with New, start with Serve,
+// stop with Shutdown.
+type Gateway struct {
+	cfg      Config
+	listener net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	relayed  uint64
+	denied   uint64
+	flagged  uint64
+	protoErr uint64
+
+	wg sync.WaitGroup
+}
+
+// New validates the configuration and returns a gateway listening on
+// listenAddr (e.g. "127.0.0.1:0").
+func New(cfg Config, listenAddr string) (*Gateway, error) {
+	if cfg.Limiter == nil {
+		return nil, errors.New("gateway: config needs a limiter")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Dial == nil {
+		timeout := cfg.DialTimeout
+		cfg.Dial = func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, address, timeout)
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen: %w", err)
+	}
+	return &Gateway{cfg: cfg, listener: ln}, nil
+}
+
+// Addr returns the gateway's listening address.
+func (g *Gateway) Addr() string { return g.listener.Addr().String() }
+
+// Serve accepts and handles connections until Shutdown. It always
+// returns a non-nil error; after Shutdown the error is net.ErrClosed.
+func (g *Gateway) Serve() error {
+	for {
+		conn, err := g.listener.Accept()
+		if err != nil {
+			return err
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and waits for in-flight relays to finish.
+// Safe to call more than once.
+func (g *Gateway) Shutdown() {
+	g.mu.Lock()
+	already := g.closed
+	g.closed = true
+	g.mu.Unlock()
+	if !already {
+		// Closing the listener unblocks Serve's Accept.
+		if err := g.listener.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			// Nothing actionable: the listener is going away regardless.
+			_ = err
+		}
+	}
+	g.wg.Wait()
+}
+
+// GatewayStats is a snapshot of the relay counters plus the limiter's
+// containment counters.
+type GatewayStats struct {
+	Relayed        uint64     `json:"relayed"`
+	Denied         uint64     `json:"denied"`
+	Flagged        uint64     `json:"flagged"`
+	ProtocolErrors uint64     `json:"protocolErrors"`
+	Limiter        core.Stats `json:"limiter"`
+}
+
+// Stats returns the current snapshot.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	s := GatewayStats{
+		Relayed:        g.relayed,
+		Denied:         g.denied,
+		Flagged:        g.flagged,
+		ProtocolErrors: g.protoErr,
+	}
+	g.mu.Unlock()
+	s.Limiter = g.cfg.Limiter.Snapshot()
+	return s
+}
+
+// request is a parsed WCP/1 header.
+type request struct {
+	src     addr.IP
+	dst     addr.IP
+	dstPort int
+}
+
+// parseRequest parses "WCP/1 <src> <dst> <port>".
+func parseRequest(line string) (request, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 || fields[0] != protocolMagic {
+		return request{}, fmt.Errorf("gateway: malformed request %q", line)
+	}
+	src, err := addr.ParseIP(fields[1])
+	if err != nil {
+		return request{}, fmt.Errorf("gateway: bad source: %w", err)
+	}
+	dst, err := addr.ParseIP(fields[2])
+	if err != nil {
+		return request{}, fmt.Errorf("gateway: bad destination: %w", err)
+	}
+	port, err := strconv.Atoi(fields[3])
+	if err != nil || port < 1 || port > 65535 {
+		return request{}, fmt.Errorf("gateway: bad port %q", fields[3])
+	}
+	return request{src: src, dst: dst, dstPort: port}, nil
+}
+
+// handle serves one client connection end to end.
+func (g *Gateway) handle(client net.Conn) {
+	defer client.Close()
+
+	reader := bufio.NewReader(io.LimitReader(client, 256))
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		g.count(&g.protoErr)
+		return
+	}
+	req, err := parseRequest(line)
+	if err != nil {
+		g.count(&g.protoErr)
+		fmt.Fprintf(client, "DENY malformed-request\n")
+		return
+	}
+
+	decision := g.cfg.Limiter.Observe(uint32(req.src), uint32(req.dst), g.cfg.Now())
+	switch decision {
+	case core.Deny:
+		g.count(&g.denied)
+		fmt.Fprintf(client, "DENY scan-limit-exceeded\n")
+		return
+	case core.AllowAndCheck:
+		g.count(&g.flagged)
+		if _, err := fmt.Fprintf(client, "CHECK\n"); err != nil {
+			return
+		}
+	case core.Allow:
+		if _, err := fmt.Fprintf(client, "OK\n"); err != nil {
+			return
+		}
+	default:
+		g.count(&g.protoErr)
+		return
+	}
+
+	upstream, err := g.cfg.Dial("tcp", net.JoinHostPort(req.dst.String(), strconv.Itoa(req.dstPort)))
+	if err != nil {
+		fmt.Fprintf(client, "DENY upstream-unreachable\n")
+		return
+	}
+	defer upstream.Close()
+	g.count(&g.relayed)
+
+	// Bidirectional relay; each direction closes the other on EOF.
+	done := make(chan struct{}, 1)
+	go func() {
+		// The header reader may hold buffered client bytes; flush them
+		// upstream first.
+		if n := reader.Buffered(); n > 0 {
+			buffered, err := reader.Peek(n)
+			if err == nil {
+				if _, err := upstream.Write(buffered); err != nil {
+					done <- struct{}{}
+					return
+				}
+			}
+		}
+		copyHalf(upstream, client)
+		done <- struct{}{}
+	}()
+	copyHalf(client, upstream)
+	<-done
+}
+
+// copyHalf copies one direction and half-closes the destination so the
+// peer sees EOF.
+func copyHalf(dst, src net.Conn) {
+	// Errors here mean the relay is over; the deferred Closes clean up.
+	_, _ = io.Copy(dst, src)
+	if tcp, ok := dst.(*net.TCPConn); ok {
+		_ = tcp.CloseWrite()
+	} else {
+		_ = dst.Close()
+	}
+}
+
+// count bumps one counter under the mutex.
+func (g *Gateway) count(c *uint64) {
+	g.mu.Lock()
+	*c++
+	g.mu.Unlock()
+}
+
+// Client is a minimal WCP/1 client used by tests, tools and host agents.
+type Client struct {
+	// GatewayAddr is the gateway's listen address.
+	GatewayAddr string
+	// Timeout bounds the whole exchange (default 10s).
+	Timeout time.Duration
+}
+
+// Connect asks the gateway to relay src→dst:port. On success it returns
+// the connection (now piped to the destination) and whether the gateway
+// flagged the source for a checking process. The caller owns the
+// connection.
+func (c Client) Connect(src, dst addr.IP, port int) (net.Conn, bool, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.GatewayAddr, timeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("gateway client: dial: %w", err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("gateway client: deadline: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s %s %d\n", protocolMagic, src, dst, port); err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("gateway client: send request: %w", err)
+	}
+	status, err := bufio.NewReader(io.LimitReader(conn, 256)).ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("gateway client: read status: %w", err)
+	}
+	status = strings.TrimSpace(status)
+	switch {
+	case status == "OK":
+		err = conn.SetDeadline(time.Time{})
+		return conn, false, err
+	case status == "CHECK":
+		err = conn.SetDeadline(time.Time{})
+		return conn, true, err
+	case strings.HasPrefix(status, "DENY"):
+		conn.Close()
+		return nil, false, &DeniedError{Reason: strings.TrimPrefix(status, "DENY ")}
+	default:
+		conn.Close()
+		return nil, false, fmt.Errorf("gateway client: unexpected status %q", status)
+	}
+}
+
+// DeniedError reports a refused relay.
+type DeniedError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("gateway denied connection: %s", e.Reason)
+}

@@ -1,0 +1,146 @@
+// Package plot renders data series as deterministic ASCII charts, so
+// cmd/experiments can draw the paper's figures directly in a terminal —
+// the closest a stdlib-only reproduction gets to regenerating the plots
+// themselves. Rendering is pure string construction: same series, same
+// bytes.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// markers assigns one glyph per series, cycling if there are more
+// series than glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Config controls the canvas.
+type Config struct {
+	// Width and Height are the plot area size in characters (default
+	// 72x20).
+	Width, Height int
+	// Title is printed above the canvas.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	if c.Width < 8 {
+		c.Width = 8
+	}
+	if c.Height < 4 {
+		c.Height = 4
+	}
+	return c
+}
+
+// Render draws the series onto one canvas with shared axes. Series with
+// no finite points are skipped. An empty input produces an empty-plot
+// message rather than an error: rendering is best-effort display code.
+func Render(cfg Config, series ...Series) string {
+	cfg = cfg.normalize()
+
+	// Find the data range over finite points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return "(empty plot: no finite data points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// Paint the canvas.
+	canvas := make([][]byte, cfg.Height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(cfg.Width-1)))
+			row := cfg.Height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(cfg.Height-1)))
+			canvas[row][col] = marker
+		}
+	}
+
+	// Assemble: title, y-axis labels on first/last rows, frame, x range,
+	// legend.
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	gutter := len(yTop)
+	if len(yBot) > gutter {
+		gutter = len(yBot)
+	}
+	for r, rowBytes := range canvas {
+		label := strings.Repeat(" ", gutter)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", gutter, yTop)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", gutter, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", gutter), strings.Repeat("-", cfg.Width))
+	xLeft := fmt.Sprintf("%.4g", minX)
+	xRight := fmt.Sprintf("%.4g", maxX)
+	pad := cfg.Width - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", gutter), xLeft,
+		strings.Repeat(" ", pad), xRight)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

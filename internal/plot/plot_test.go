@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Config{})
+	if !strings.Contains(out, "empty plot") {
+		t.Errorf("output = %q", out)
+	}
+	// All-NaN series also counts as empty.
+	out = Render(Config{}, Series{Label: "nan", X: []float64{math.NaN()}, Y: []float64{1}})
+	if !strings.Contains(out, "empty plot") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRenderBasicShape(t *testing.T) {
+	s := Series{
+		Label: "line",
+		X:     []float64{0, 1, 2, 3},
+		Y:     []float64{0, 1, 2, 3},
+	}
+	out := Render(Config{Width: 20, Height: 10, Title: "diag", XLabel: "t", YLabel: "v"}, s)
+	if !strings.Contains(out, "diag") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "x: t   y: v") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 canvas rows + frame + x-range + labels + legend.
+	if len(lines) < 14 {
+		t.Fatalf("too few lines: %d\n%s", len(lines), out)
+	}
+	// Increasing series: the marker must appear in the top row (max)
+	// and the bottom canvas row (min).
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("no point in top row: %q", lines[1])
+	}
+	if !strings.Contains(lines[10], "*") {
+		t.Errorf("no point in bottom row: %q", lines[10])
+	}
+	// Axis extremes rendered.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Error("axis range missing")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	s := Series{Label: "x", X: []float64{0, 5, 10}, Y: []float64{2, 8, 4}}
+	a := Render(Config{}, s)
+	b := Render(Config{}, s)
+	if a != b {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	a := Series{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	bSeries := Series{Label: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := Render(Config{Width: 10, Height: 5}, a, bSeries)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend markers wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("canvas missing one of the markers")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := Series{Label: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}
+	out := Render(Config{Width: 12, Height: 5}, s)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	// Extra X values beyond Y are ignored, not panicking.
+	s := Series{Label: "ragged", X: []float64{0, 1, 2, 3, 4}, Y: []float64{1, 2}}
+	out := Render(Config{Width: 12, Height: 5}, s)
+	if !strings.Contains(out, "*") {
+		t.Errorf("ragged series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderTinyCanvasClamped(t *testing.T) {
+	s := Series{Label: "p", X: []float64{0, 1}, Y: []float64{0, 1}}
+	out := Render(Config{Width: 1, Height: 1}, s)
+	if out == "" {
+		t.Error("empty output for tiny canvas")
+	}
+}

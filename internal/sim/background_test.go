@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"wormcontain/internal/defense"
+)
+
+func TestBackgroundConfigValidation(t *testing.T) {
+	bad := []BackgroundConfig{
+		{Hosts: 0, ConnRate: 1, NewDestProb: 0.1},
+		{Hosts: 1, ConnRate: 0, NewDestProb: 0.1},
+		{Hosts: 1, ConnRate: 1, NewDestProb: -0.1},
+		{Hosts: 1, ConnRate: 1, NewDestProb: 1.1},
+	}
+	for i, b := range bad {
+		if err := b.validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBackgroundRequiresHorizon(t *testing.T) {
+	cfg := smallCfg(20)
+	cfg.Background = &BackgroundConfig{Hosts: 5, ConnRate: 1, NewDestProb: 0.1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error: background without horizon")
+	}
+}
+
+func TestBackgroundUnharmedByMLimit(t *testing.T) {
+	// Repeat-heavy legitimate traffic under a generous M-limit: zero
+	// false positives — the paper's non-intrusiveness claim.
+	cfg := smallCfg(21)
+	cfg.Horizon = 30 * time.Second
+	cfg.Background = &BackgroundConfig{Hosts: 20, ConnRate: 5, NewDestProb: 0.05}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := res.Background
+	if bg.Conns == 0 {
+		t.Fatal("no background traffic generated")
+	}
+	// M = 20 in smallCfg; hosts make 30s·5/s·0.05 ≈ 7.5 distinct
+	// destinations — well under the limit.
+	if bg.Dropped != 0 || bg.HostsBlocked != 0 {
+		t.Errorf("m-limit harmed legitimate traffic: %+v", bg)
+	}
+	if bg.FalsePositiveRate() != 0 {
+		t.Errorf("false positive rate %v, want 0", bg.FalsePositiveRate())
+	}
+}
+
+func TestBackgroundDelayedByThrottle(t *testing.T) {
+	// Bursty-new-destination legitimate traffic under the Williamson
+	// throttle: heavily delayed — the intrusiveness the paper charges
+	// rate-based schemes with.
+	cfg := smallCfg(22)
+	cfg.Defense = defense.NewWilliamsonThrottle()
+	cfg.Horizon = 30 * time.Second
+	cfg.Background = &BackgroundConfig{Hosts: 10, ConnRate: 5, NewDestProb: 0.9}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := res.Background
+	if bg.Delayed == 0 {
+		t.Error("throttle should delay bursty legitimate traffic")
+	}
+	if bg.MeanDelay() <= 0 {
+		t.Errorf("mean delay %v, want > 0", bg.MeanDelay())
+	}
+	if bg.Dropped != 0 {
+		t.Errorf("throttle drops nothing, got %d", bg.Dropped)
+	}
+}
+
+func TestBackgroundAggressiveLimitBlocksScanners(t *testing.T) {
+	// A legitimate host that behaves like a scanner (every connection
+	// to a new destination) does eventually trip a tight M-limit: the
+	// false-positive mechanism works end to end.
+	d, err := defense.NewMLimit(10, 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(23)
+	cfg.Defense = d
+	cfg.Horizon = 60 * time.Second
+	cfg.Background = &BackgroundConfig{Hosts: 3, ConnRate: 2, NewDestProb: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := res.Background
+	if bg.Dropped == 0 || bg.HostsBlocked != 3 {
+		t.Errorf("scanner-like hosts should be blocked by a tight limit: %+v", bg)
+	}
+}
+
+func TestBackgroundDoesNotPerturbWormPath(t *testing.T) {
+	// The worm's outcome must be identical with and without background
+	// traffic (independent random streams).
+	base := smallCfg(24)
+	base.Horizon = 20 * time.Second
+	resA, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBg := smallCfg(24)
+	withBg.Horizon = 20 * time.Second
+	withBg.Background = &BackgroundConfig{Hosts: 10, ConnRate: 10, NewDestProb: 0.2}
+	resB, err := Run(withBg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.TotalInfected != resB.TotalInfected || resA.TotalScans != resB.TotalScans {
+		t.Errorf("background traffic perturbed the worm: %d/%d scans %d/%d",
+			resA.TotalInfected, resB.TotalInfected, resA.TotalScans, resB.TotalScans)
+	}
+}
+
+func TestBackgroundStatsZeroValues(t *testing.T) {
+	var bg BackgroundStats
+	if bg.FalsePositiveRate() != 0 || bg.MeanDelay() != 0 {
+		t.Error("zero-value stats should report zeros")
+	}
+}

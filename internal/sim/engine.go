@@ -1,0 +1,485 @@
+// Package sim implements the paper's worm propagation simulator
+// (Section V): V susceptible hosts at random IPv4 addresses, I0 initial
+// infections, infected hosts scanning random addresses at a configurable
+// rate, a pluggable defense deciding the fate of each scan, and
+// generation-labelled infections ("it is marked a generation number that
+// equals to its source's generation number plus one").
+//
+// Two execution engines are provided:
+//
+//   - Run: a full discrete-event simulation over virtual time, producing
+//     the sample paths of Figs. 9–10 and driving the defense-comparison
+//     ablations (time matters for rate throttles and quarantines).
+//
+//   - FastTotals: a generational Monte-Carlo engine for the total-
+//     infection distribution under the M-limit (Figs. 7, 8, 11, 12).
+//     For uniform scanning it is statistically identical to the full
+//     simulation (see fast.go) and orders of magnitude faster, making
+//     the paper's 1000-replication experiments instantaneous.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/defense"
+	"wormcontain/internal/des"
+	"wormcontain/internal/rng"
+	"wormcontain/internal/stats"
+)
+
+// Status is a vulnerable host's epidemiological state.
+type Status uint8
+
+const (
+	// Susceptible hosts can be infected by a successful scan.
+	Susceptible Status = iota + 1
+	// Infected hosts actively scan.
+	Infected
+	// Removed hosts have been taken out by the defense and neither scan
+	// nor accept infection ("a host is removed if it has sent M scans").
+	Removed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Susceptible:
+		return "susceptible"
+	case Infected:
+		return "infected"
+	case Removed:
+		return "removed"
+	default:
+		return "Status(?)"
+	}
+}
+
+// Releaser is an optional defense capability: defenses whose blocks
+// expire (dynamic quarantine) report when a blocked host is released, so
+// the simulator can resume its scanning instead of retiring it.
+type Releaser interface {
+	// ReleaseAt returns the virtual time at which src's current block
+	// expires. ok is false when the host is not blocked or the block is
+	// permanent.
+	ReleaseAt(src addr.IP, t time.Duration) (time.Duration, bool)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// V is the number of vulnerable hosts.
+	V int
+	// I0 is the number of initially infected hosts (indices 0..I0-1).
+	I0 int
+	// ScanRate is each infected host's scan rate in scans/second;
+	// inter-scan times are exponential (Poisson scanning process).
+	ScanRate float64
+	// Scanner picks targets; nil means uniform scanning. Stateless
+	// scanners (Uniform, SubnetPreference) can be shared; for stateful
+	// strategies set ScannerFactory instead.
+	Scanner addr.Scanner
+	// ScannerFactory, when non-nil, supplies a fresh scanner per
+	// infected host (needed for stateful strategies such as hit lists).
+	ScannerFactory func() addr.Scanner
+	// Defense decides each scan's fate; nil means no defense.
+	Defense defense.Defense
+	// Horizon stops the simulation at this virtual time; 0 means run
+	// until no events remain (every infected host retired).
+	Horizon time.Duration
+	// MaxInfected stops the run early once this many hosts have ever
+	// been infected (0 = no cap). Used to bound uncontained baselines.
+	MaxInfected int
+	// MaxEvents bounds total event count as a runaway guard
+	// (0 = default of 50 million).
+	MaxEvents uint64
+	// ClusterPrefix, when non-nil, places the vulnerable population
+	// inside one prefix (enterprise scenario) instead of the full space.
+	ClusterPrefix *addr.Prefix
+	// Background, when non-nil, adds legitimate traffic through the
+	// same defense and reports its fate in Result.Background. Requires
+	// Horizon > 0.
+	Background *BackgroundConfig
+	// DutyCycle, when non-nil, makes the worm stealthy: infected hosts
+	// alternate between an active scanning phase and a dormant phase
+	// ("stealth worms that may turn themselves off at times"). Rate
+	// detectors lose the signal during dormancy; the M-limit does not
+	// care, because dormancy never refunds scan budget.
+	DutyCycle *DutyCycleConfig
+	// PatchRate, when > 0, removes each infected host independently at
+	// this rate (events/second): the stochastic counterpart of the
+	// two-factor model's human countermeasure dR/dt = γ·I (patching and
+	// cleaning infected machines).
+	PatchRate float64
+	// ImmunizeRate, when > 0, removes each susceptible host
+	// independently at this rate: the counterpart of the two-factor
+	// model's dQ/dt immunization of not-yet-infected machines.
+	ImmunizeRate float64
+	// ScanObserver, when non-nil, is invoked for every scan the defense
+	// lets through (at delivery time). Detection experiments tap the
+	// exact monitor-visible scan stream here instead of reconstructing
+	// it from aggregate series.
+	ScanObserver func(src, dst addr.IP, t time.Duration)
+	// Seed and Stream select the deterministic random stream.
+	Seed, Stream uint64
+	// RecordPaths enables the time-series sample paths (Figs. 9–10);
+	// leave off for Monte-Carlo throughput.
+	RecordPaths bool
+	// RecordTree enables infection-lineage recording (Result.Tree), the
+	// parent→child structure of Fig. 1.
+	RecordTree bool
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	switch {
+	case c.V < 1:
+		return fmt.Errorf("sim: V = %d, must be >= 1", c.V)
+	case c.I0 < 1 || c.I0 > c.V:
+		return fmt.Errorf("sim: I0 = %d, must be in [1, V]", c.I0)
+	case c.ScanRate <= 0:
+		return fmt.Errorf("sim: scan rate %v, must be > 0", c.ScanRate)
+	case c.Horizon < 0:
+		return fmt.Errorf("sim: horizon %v, must be >= 0", c.Horizon)
+	case c.MaxInfected < 0:
+		return fmt.Errorf("sim: max infected %v, must be >= 0", c.MaxInfected)
+	case c.PatchRate < 0:
+		return fmt.Errorf("sim: patch rate %v, must be >= 0", c.PatchRate)
+	case c.ImmunizeRate < 0:
+		return fmt.Errorf("sim: immunize rate %v, must be >= 0", c.ImmunizeRate)
+	}
+	if c.DutyCycle != nil {
+		if err := c.DutyCycle.validate(); err != nil {
+			return err
+		}
+	}
+	if c.Background != nil {
+		if err := c.Background.validate(); err != nil {
+			return err
+		}
+		if c.Horizon <= 0 {
+			return fmt.Errorf("sim: background traffic requires a positive horizon")
+		}
+	}
+	if c.Scanner == nil && c.ScannerFactory == nil {
+		c.Scanner = addr.Uniform{}
+	}
+	if c.Defense == nil {
+		c.Defense = defense.Null{}
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 50_000_000
+	}
+	return nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// TotalInfected is the cumulative number of hosts ever infected,
+	// including the I0 seeds — the paper's quantity I.
+	TotalInfected int
+	// TotalRemoved is the number of infected hosts retired by the
+	// defense by the end of the run.
+	TotalRemoved int
+	// PeakActive is the maximum simultaneous count of actively scanning
+	// infected hosts.
+	PeakActive int
+	// EndTime is the virtual time the run finished.
+	EndTime time.Duration
+	// Extinct reports that the outbreak ended with no active infected
+	// hosts (the worm died).
+	Extinct bool
+	// Truncated reports the run stopped on MaxInfected or MaxEvents
+	// rather than completing naturally.
+	Truncated bool
+	// Generations[g] is the number of hosts infected in generation g
+	// (generation 0 = the seeds), the view of Figs. 1–2.
+	Generations []int
+	// TotalScans counts scan attempts; Delivered, Delayed and Dropped
+	// split them by defense verdict.
+	TotalScans, Delivered, Delayed, Dropped uint64
+	// Patched counts infected hosts removed by the patching process;
+	// Immunized counts susceptible hosts removed before infection.
+	Patched, Immunized int
+	// InfectedSeries, RemovedSeries and ActiveSeries are the sample
+	// paths of Figs. 9–10 (nil unless Config.RecordPaths).
+	InfectedSeries, RemovedSeries, ActiveSeries *stats.TimeSeries
+	// Background reports the fate of legitimate traffic (zero value
+	// unless Config.Background was set).
+	Background BackgroundStats
+	// Tree holds one InfectionEdge per non-seed infection (nil unless
+	// Config.RecordTree): the lineage structure of Fig. 1. Seeds have
+	// no edge; a host's generation is its depth from a seed.
+	Tree []InfectionEdge
+}
+
+// InfectionEdge records that Parent infected Child at time At.
+type InfectionEdge struct {
+	Parent, Child int
+	At            time.Duration
+}
+
+// engine carries one run's mutable state.
+type engine struct {
+	cfg        Config
+	sim        *des.Simulator
+	src        *rng.PCG64
+	pop        *addr.Population
+	status     []Status
+	gen        []int
+	infectedAt []time.Duration // per-host infection instant (duty-cycle phase anchor)
+	scanner    []addr.Scanner  // per-host when factory set; else shared at [0]
+	res        *Result
+	active     int
+}
+
+// Run executes one full discrete-event simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewPCG64(cfg.Seed, cfg.Stream)
+	pop, err := addr.NewPopulation(cfg.V, cfg.ClusterPrefix, src)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:        cfg,
+		sim:        des.New(),
+		src:        src,
+		pop:        pop,
+		status:     make([]Status, cfg.V),
+		gen:        make([]int, cfg.V),
+		infectedAt: make([]time.Duration, cfg.V),
+		res:        &Result{},
+	}
+	for i := range e.status {
+		e.status[i] = Susceptible
+	}
+	if cfg.RecordPaths {
+		e.res.InfectedSeries = stats.NewTimeSeries()
+		e.res.RemovedSeries = stats.NewTimeSeries()
+		e.res.ActiveSeries = stats.NewTimeSeries()
+	}
+	if cfg.ScannerFactory == nil {
+		e.scanner = []addr.Scanner{cfg.Scanner}
+	} else {
+		e.scanner = make([]addr.Scanner, cfg.V)
+	}
+
+	// Seed the outbreak: hosts 0..I0-1 are generation 0.
+	for i := 0; i < cfg.I0; i++ {
+		e.infect(i, 0)
+	}
+
+	e.startCountermeasures()
+
+	var background *backgroundDriver
+	if cfg.Background != nil {
+		background = newBackgroundDriver(
+			e.sim, cfg.Defense, *cfg.Background, cfg.Horizon, cfg.Seed, cfg.Stream)
+	}
+
+	if cfg.Horizon > 0 {
+		e.sim.RunUntil(cfg.Horizon)
+	} else {
+		e.sim.Run()
+	}
+	e.res.EndTime = e.sim.Now()
+	e.res.Extinct = e.active == 0
+	if background != nil {
+		e.res.Background = background.finalize()
+	}
+	return e.res, nil
+}
+
+// scannerFor returns the scanner used by host i.
+func (e *engine) scannerFor(i int) addr.Scanner {
+	if e.cfg.ScannerFactory == nil {
+		return e.scanner[0]
+	}
+	if e.scanner[i] == nil {
+		e.scanner[i] = e.cfg.ScannerFactory()
+	}
+	return e.scanner[i]
+}
+
+// infect transitions host i to Infected in generation g and starts its
+// scanning process.
+func (e *engine) infect(i, g int) {
+	e.status[i] = Infected
+	e.gen[i] = g
+	e.infectedAt[i] = e.sim.Now()
+	for len(e.res.Generations) <= g {
+		e.res.Generations = append(e.res.Generations, 0)
+	}
+	e.res.Generations[g]++
+	e.res.TotalInfected++
+	e.active++
+	if e.active > e.res.PeakActive {
+		e.res.PeakActive = e.active
+	}
+	e.recordPaths()
+	if e.cfg.MaxInfected > 0 && e.res.TotalInfected >= e.cfg.MaxInfected {
+		e.res.Truncated = true
+		e.sim.Stop()
+		return
+	}
+	e.schedulePatch(i)
+	e.scheduleNextScan(i)
+}
+
+// startCountermeasures seeds the immunization process: each susceptible
+// host draws an exponential immunization time; hosts infected before it
+// fires simply ignore it (state check at fire time).
+func (e *engine) startCountermeasures() {
+	if e.cfg.ImmunizeRate <= 0 {
+		return
+	}
+	for i := range e.status {
+		if e.status[i] != Susceptible {
+			continue
+		}
+		host := i
+		delay := time.Duration(rng.Exponential(e.src, e.cfg.ImmunizeRate) * float64(time.Second))
+		e.sim.Schedule(delay, func() {
+			if e.status[host] != Susceptible {
+				return
+			}
+			e.status[host] = Removed
+			e.res.Immunized++
+		})
+	}
+}
+
+// schedulePatch books host i's patch (clean-up) event.
+func (e *engine) schedulePatch(i int) {
+	if e.cfg.PatchRate <= 0 {
+		return
+	}
+	delay := time.Duration(rng.Exponential(e.src, e.cfg.PatchRate) * float64(time.Second))
+	e.sim.Schedule(delay, func() {
+		if e.status[i] != Infected {
+			return
+		}
+		e.res.Patched++
+		e.remove(i)
+	})
+}
+
+// remove retires an infected host (defense removal).
+func (e *engine) remove(i int) {
+	if e.status[i] != Infected {
+		return
+	}
+	e.status[i] = Removed
+	e.res.TotalRemoved++
+	e.active--
+	e.recordPaths()
+}
+
+// recordPaths appends the current counters to the sample-path series.
+func (e *engine) recordPaths() {
+	if e.res.InfectedSeries == nil {
+		return
+	}
+	now := e.sim.Now()
+	e.res.InfectedSeries.Record(now, float64(e.res.TotalInfected))
+	e.res.RemovedSeries.Record(now, float64(e.res.TotalRemoved))
+	e.res.ActiveSeries.Record(now, float64(e.active))
+}
+
+// scheduleNextScan books host i's next scan attempt after an exponential
+// inter-scan time, deferring attempts that land in a stealth worm's
+// dormant window to the next active phase.
+func (e *engine) scheduleNextScan(i int) {
+	if e.guardEvents() {
+		return
+	}
+	delay := time.Duration(rng.Exponential(e.src, e.cfg.ScanRate) * float64(time.Second))
+	at := e.sim.Now() + delay
+	if dc := e.cfg.DutyCycle; dc != nil {
+		at = dc.nextActive(e.infectedAt[i], at)
+	}
+	e.sim.ScheduleAt(at, func() { e.scanAttempt(i) })
+}
+
+// guardEvents stops the run when the event budget is exhausted.
+func (e *engine) guardEvents() bool {
+	if e.sim.Fired() >= e.cfg.MaxEvents {
+		e.res.Truncated = true
+		e.sim.Stop()
+		return true
+	}
+	return false
+}
+
+// scanAttempt is the per-scan event: pick a target, consult the defense,
+// and deliver, delay or drop.
+func (e *engine) scanAttempt(i int) {
+	if e.status[i] != Infected {
+		return
+	}
+	now := e.sim.Now()
+	srcIP := e.pop.Addr(i)
+	e.res.TotalScans++
+
+	dst := e.scannerFor(i).Next(e.src, srcIP)
+	v := e.cfg.Defense.OnScan(srcIP, dst, now)
+	switch v.Action {
+	case defense.Permit:
+		e.res.Delivered++
+		e.deliver(srcIP, dst, i)
+		if e.status[i] == Infected { // deliver may have stopped the run
+			e.scheduleNextScan(i)
+		}
+	case defense.Delay:
+		e.res.Delayed++
+		if !e.guardEvents() {
+			e.sim.Schedule(v.Delay, func() {
+				e.res.Delivered++
+				e.deliver(srcIP, dst, i)
+			})
+		}
+		e.scheduleNextScan(i)
+	case defense.Drop:
+		e.res.Dropped++
+		if rel, ok := e.cfg.Defense.(Releaser); ok {
+			if at, blocked := rel.ReleaseAt(srcIP, now); blocked {
+				// Temporary block (quarantine): resume attempting once
+				// released.
+				if e.guardEvents() {
+					return
+				}
+				retry := at + time.Duration(rng.Exponential(e.src, e.cfg.ScanRate)*float64(time.Second))
+				e.sim.ScheduleAt(retry, func() { e.scanAttempt(i) })
+				return
+			}
+		}
+		// Permanent removal (the M-limit's semantics).
+		e.remove(i)
+	default:
+		panic(fmt.Sprintf("sim: unknown defense action %v", v.Action))
+	}
+}
+
+// deliver lands a scan from host parent on dst at the current time: a
+// susceptible vulnerable host at that address becomes infected in the
+// parent's generation + 1.
+func (e *engine) deliver(src, dst addr.IP, parent int) {
+	if obs := e.cfg.ScanObserver; obs != nil {
+		obs(src, dst, e.sim.Now())
+	}
+	idx, ok := e.pop.Lookup(dst)
+	if !ok || e.status[idx] != Susceptible {
+		return
+	}
+	if e.cfg.RecordTree {
+		e.res.Tree = append(e.res.Tree, InfectionEdge{
+			Parent: parent,
+			Child:  idx,
+			At:     e.sim.Now(),
+		})
+	}
+	e.infect(idx, e.gen[parent]+1)
+}

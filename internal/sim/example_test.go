@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"wormcontain/internal/defense"
+	"wormcontain/internal/sim"
+)
+
+// ExampleRun simulates one contained Code Red outbreak exactly as the
+// paper's Section V does and prints the containment outcome.
+func ExampleRun() {
+	mlimit, err := defense.NewMLimit(10000, 30*24*time.Hour)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sim.Run(sim.Config{
+		V:        360000,
+		I0:       10,
+		ScanRate: 6, // scans/second, the paper's illustration rate
+		Defense:  mlimit,
+		Seed:     9,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("total infected: %d\n", res.TotalInfected)
+	fmt.Printf("worm extinct: %v\n", res.Extinct)
+	fmt.Printf("all infected removed: %v\n", res.TotalRemoved == res.TotalInfected)
+	// Output:
+	// total infected: 35
+	// worm extinct: true
+	// all infected removed: true
+}
+
+// ExampleRunFastMonteCarlo reproduces the Fig. 7 experiment shape: 1000
+// outbreak replications, compared against the analytical mean.
+func ExampleRunFastMonteCarlo() {
+	mc, err := sim.RunFastMonteCarlo(sim.FastConfig{
+		V:         360000,
+		SpaceSize: 1 << 32,
+		M:         10000,
+		I0:        10,
+		Seed:      42,
+	}, 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	summary, err := mc.Summary()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("replications: %d\n", summary.N)
+	fmt.Printf("mean outbreak size: %.0f (theory 61.8)\n", summary.Mean)
+	// Output:
+	// replications: 1000
+	// mean outbreak size: 59 (theory 61.8)
+}

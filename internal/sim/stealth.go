@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// DutyCycleConfig describes a stealth worm's on/off behaviour: each
+// infected host scans normally for On, goes silent for Off, and
+// repeats. Phases are aligned to each host's infection time, so the
+// population's activity is staggered rather than globally synchronized
+// — the hardest case for rate-based detection.
+type DutyCycleConfig struct {
+	// On is the active scanning phase length.
+	On time.Duration
+	// Off is the dormant phase length.
+	Off time.Duration
+}
+
+// validate checks the duty-cycle parameters.
+func (d DutyCycleConfig) validate() error {
+	if d.On <= 0 {
+		return fmt.Errorf("sim: duty cycle on-phase %v, must be > 0", d.On)
+	}
+	if d.Off < 0 {
+		return fmt.Errorf("sim: duty cycle off-phase %v, must be >= 0", d.Off)
+	}
+	return nil
+}
+
+// period returns one full on+off cycle.
+func (d DutyCycleConfig) period() time.Duration { return d.On + d.Off }
+
+// nextActive maps a desired scan instant to the next instant the host is
+// in an active phase, given the host's infection time. Instants that
+// fall into a dormant window are pushed to the start of the following
+// active window.
+func (d DutyCycleConfig) nextActive(infectedAt, t time.Duration) time.Duration {
+	if d.Off == 0 {
+		return t
+	}
+	if t < infectedAt {
+		return infectedAt
+	}
+	offset := (t - infectedAt) % d.period()
+	if offset < d.On {
+		return t
+	}
+	// Dormant: jump to the start of the next cycle's active phase.
+	return t + (d.period() - offset)
+}

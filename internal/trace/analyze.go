@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wormcontain/internal/stats"
+)
+
+// Analysis is the per-host distinct-destination study of Section IV: the
+// quantity the containment limit M meters, extracted from a connection
+// trace.
+type Analysis struct {
+	// Span is the analyzed time range (max record start time).
+	Span time.Duration
+	// Distinct maps each local host to its count of distinct remote
+	// destinations over the whole trace.
+	Distinct map[uint32]int
+	// Growth holds, for each local host, the cumulative
+	// distinct-destination time series (Fig. 6's curves).
+	Growth map[uint32]*stats.TimeSeries
+}
+
+// Analyze scans a trace and builds the per-host statistics. Records may
+// arrive in any order; growth curves are computed over time-sorted
+// first-contact events.
+func Analyze(records []Record) (*Analysis, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: analyze: empty trace")
+	}
+	sorted := append([]Record(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	a := &Analysis{
+		Distinct: make(map[uint32]int),
+		Growth:   make(map[uint32]*stats.TimeSeries),
+	}
+	seen := make(map[uint32]map[uint32]struct{})
+	for _, r := range sorted {
+		if r.Start > a.Span {
+			a.Span = r.Start
+		}
+		dsts := seen[r.Local]
+		if dsts == nil {
+			dsts = make(map[uint32]struct{})
+			seen[r.Local] = dsts
+		}
+		if _, dup := dsts[r.Remote]; dup {
+			continue
+		}
+		dsts[r.Remote] = struct{}{}
+		a.Distinct[r.Local]++
+		g := a.Growth[r.Local]
+		if g == nil {
+			g = stats.NewTimeSeries()
+			a.Growth[r.Local] = g
+		}
+		g.Record(r.Start, float64(a.Distinct[r.Local]))
+	}
+	return a, nil
+}
+
+// Hosts returns the number of distinct local hosts observed.
+func (a *Analysis) Hosts() int { return len(a.Distinct) }
+
+// FractionBelow returns the fraction of hosts whose distinct-destination
+// count is strictly below k — the paper's "97% of hosts contacted less
+// than 100 distinct destination IP addresses during this period".
+func (a *Analysis) FractionBelow(k int) float64 {
+	if len(a.Distinct) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range a.Distinct {
+		if d < k {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.Distinct))
+}
+
+// CountAbove returns how many hosts exceed k distinct destinations —
+// "only six hosts contacted more than 1000 distinct IP addresses".
+func (a *Analysis) CountAbove(k int) int {
+	n := 0
+	for _, d := range a.Distinct {
+		if d > k {
+			n++
+		}
+	}
+	return n
+}
+
+// TopHost is one entry of the most-active ranking.
+type TopHost struct {
+	Host     uint32
+	Distinct int
+}
+
+// Top returns the n most active hosts by distinct destinations,
+// descending (ties broken by host id for determinism). These are the six
+// hosts whose growth Fig. 6 plots.
+func (a *Analysis) Top(n int) []TopHost {
+	all := make([]TopHost, 0, len(a.Distinct))
+	for h, d := range a.Distinct {
+		all = append(all, TopHost{Host: h, Distinct: d})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distinct != all[j].Distinct {
+			return all[i].Distinct > all[j].Distinct
+		}
+		return all[i].Host < all[j].Host
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// GrowthCurve samples host h's cumulative distinct-destination curve on
+// an n-point grid over the full span (Fig. 6's x-axis is hours).
+func (a *Analysis) GrowthCurve(h uint32, n int) (times []time.Duration, counts []float64, err error) {
+	g := a.Growth[h]
+	if g == nil {
+		return nil, nil, fmt.Errorf("trace: host %d not in trace", h)
+	}
+	times, counts = g.Sample(a.Span, n)
+	return times, counts, nil
+}
+
+// RatesPerHour returns each host's average rate of new distinct
+// destinations per hour, the input to core.CyclePlanner's learning
+// process.
+func (a *Analysis) RatesPerHour() []float64 {
+	hours := a.Span.Hours()
+	if hours <= 0 {
+		hours = 1
+	}
+	out := make([]float64, 0, len(a.Distinct))
+	// Deterministic order: by host id.
+	hostIDs := make([]uint32, 0, len(a.Distinct))
+	for h := range a.Distinct {
+		hostIDs = append(hostIDs, h)
+	}
+	sort.Slice(hostIDs, func(i, j int) bool { return hostIDs[i] < hostIDs[j] })
+	for _, h := range hostIDs {
+		out = append(out, float64(a.Distinct[h])/hours)
+	}
+	return out
+}
+
+// FalseAlarms reports how many hosts would hit an M-scan containment
+// limit within the trace span — clean hosts that would be removed, the
+// paper's non-intrusiveness metric ("If M is set to be 5000 ... none of
+// the above hosts will trigger alarm").
+func (a *Analysis) FalseAlarms(m int) int {
+	n := 0
+	for _, d := range a.Distinct {
+		if d >= m {
+			n++
+		}
+	}
+	return n
+}
