@@ -1,0 +1,34 @@
+# Local mirror of .github/workflows/ci.yml: each target matches one CI
+# job, so `make ci` reproduces exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race target certifies the deterministic parallel replication
+# engine (internal/parallel) and every fan-out built on it.
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run that keeps bench_test.go
+# compiling and completing, matching the CI bench-smoke job. Full
+# measurement runs are `go test -bench=. -benchmem` at the repo root.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: lint build test race bench

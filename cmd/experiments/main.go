@@ -8,14 +8,21 @@
 //
 //	experiments -list
 //	experiments -id fig7 [-runs 1000] [-seed 42]
+//	experiments -id fig7 -workers 4     # bound the replication pool (same output)
 //	experiments -id fig3 -plot          # draw the figure as ASCII art
 //	experiments -all -summary
+//
+// Monte-Carlo replications fan out across -workers goroutines (default:
+// all CPUs). The engine is deterministic — replication r always draws
+// from RNG stream r and results merge in replication order — so -workers
+// changes wall-clock time only, never a single output byte.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wormcontain/internal/experiments"
@@ -37,6 +44,7 @@ func run(args []string) error {
 		list    = fs.Bool("list", false, "list artifact ids and exit")
 		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
 		runs    = fs.Int("runs", 0, "Monte-Carlo replications (0 = paper's 1000)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "replication worker pool size (results are identical for any value)")
 		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
 		summary = fs.Bool("summary", false, "print only titles and notes, not series")
 		asPlot  = fs.Bool("plot", false, "render each artifact's series as an ASCII chart")
@@ -51,7 +59,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Workers: *workers}
 	var results []*experiments.Result
 	switch {
 	case *all:

@@ -1,23 +1,33 @@
-// Command wormsim runs one discrete-event worm propagation simulation
-// and prints its outcome: total/removed/peak counts, the generation
+// Command wormsim runs discrete-event worm propagation simulations and
+// prints their outcome: total/removed/peak counts, the generation
 // breakdown, and optionally the sample path (the curves of Figs. 9–10).
 //
 // Usage:
 //
 //	wormsim -worm codered -m 10000 -rate 6 -seed 1 -path
 //	wormsim -v 120000 -i0 10 -m 10000 -rate 4000 -defense throttle
+//	wormsim -v 2000 -m 25 -rate 20 -runs 500 -workers 8
+//
+// With -runs N > 1 wormsim becomes a Monte-Carlo sweep: replication r
+// runs with RNG stream (-stream + r) and the replications fan out across
+// -workers goroutines (default: all CPUs). The sweep is deterministic —
+// results are aggregated in replication order, so any worker count
+// yields identical output for a fixed seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"wormcontain/internal/core"
 	"wormcontain/internal/defense"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
+	"wormcontain/internal/stats"
 )
 
 func main() {
@@ -43,7 +53,9 @@ func run(args []string) error {
 		patchRate = fs.Float64("patch-rate", 0, "per-infected-host patch rate (events/s)")
 		immunize  = fs.Float64("immunize-rate", 0, "per-susceptible immunization rate (events/s)")
 		seed      = fs.Uint64("seed", 1, "random seed")
-		stream    = fs.Uint64("stream", 0, "random stream (replication index)")
+		stream    = fs.Uint64("stream", 0, "random stream (first replication index)")
+		runs      = fs.Int("runs", 1, "Monte-Carlo replications (replication r uses stream + r)")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "replication worker pool size (results are identical for any value)")
 		path      = fs.Bool("path", false, "print the sample path on a 60-point grid")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,49 +69,61 @@ func run(args []string) error {
 		}
 		*v = w.V
 	}
-
-	var d defense.Defense
-	switch *defName {
-	case "mlimit":
-		ml, err := defense.NewMLimit(*m, 365*24*time.Hour)
-		if err != nil {
-			return err
-		}
-		d = ml
-	case "throttle":
-		d = defense.NewWilliamsonThrottle()
-	case "quarantine":
-		q, err := defense.NewQuarantine(0.001, time.Minute, rng.NewPCG64(*seed^0xdef, *stream))
-		if err != nil {
-			return err
-		}
-		d = q
-	case "none":
-		d = defense.Null{}
-		if *horizon == 0 && *maxInf == 0 {
-			return fmt.Errorf("defense 'none' needs -horizon or -max-infected to terminate")
-		}
-	default:
-		return fmt.Errorf("unknown defense %q", *defName)
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d: need at least one replication", *runs)
+	}
+	if *runs > 1 && *path {
+		return fmt.Errorf("-path prints a single sample path; drop it or use -runs 1")
 	}
 
-	cfg := sim.Config{
-		V:            *v,
-		I0:           *i0,
-		ScanRate:     *rate,
-		Defense:      d,
-		Horizon:      *horizon,
-		MaxInfected:  *maxInf,
-		PatchRate:    *patchRate,
-		ImmunizeRate: *immunize,
-		Seed:         *seed,
-		Stream:       *stream,
-		RecordPaths:  *path,
+	// Defenses are stateful (scan budgets, throttle queues, quarantine
+	// timers), so every replication builds its own instance.
+	mkDefense := func(stream uint64) (defense.Defense, error) {
+		switch *defName {
+		case "mlimit":
+			return defense.NewMLimit(*m, 365*24*time.Hour)
+		case "throttle":
+			return defense.NewWilliamsonThrottle(), nil
+		case "quarantine":
+			return defense.NewQuarantine(0.001, time.Minute, rng.NewPCG64(*seed^0xdef, stream))
+		case "none":
+			if *horizon == 0 && *maxInf == 0 {
+				return nil, fmt.Errorf("defense 'none' needs -horizon or -max-infected to terminate")
+			}
+			return defense.Null{}, nil
+		default:
+			return nil, fmt.Errorf("unknown defense %q", *defName)
+		}
 	}
-	if *dutyOn > 0 {
-		cfg.DutyCycle = &sim.DutyCycleConfig{On: *dutyOn, Off: *dutyOff}
+	mkConfig := func(d defense.Defense, stream uint64) sim.Config {
+		cfg := sim.Config{
+			V:            *v,
+			I0:           *i0,
+			ScanRate:     *rate,
+			Defense:      d,
+			Horizon:      *horizon,
+			MaxInfected:  *maxInf,
+			PatchRate:    *patchRate,
+			ImmunizeRate: *immunize,
+			Seed:         *seed,
+			Stream:       stream,
+			RecordPaths:  *path,
+		}
+		if *dutyOn > 0 {
+			cfg.DutyCycle = &sim.DutyCycleConfig{On: *dutyOn, Off: *dutyOff}
+		}
+		return cfg
 	}
-	res, err := sim.Run(cfg)
+
+	if *runs > 1 {
+		return runSweep(mkDefense, mkConfig, *runs, *workers, *stream)
+	}
+
+	d, err := mkDefense(*stream)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(mkConfig(d, *stream))
 	if err != nil {
 		return err
 	}
@@ -131,5 +155,98 @@ func run(args []string) error {
 				res.ActiveSeries.At(at))
 		}
 	}
+	return nil
+}
+
+// sweepOut is one replication's outcome in a -runs sweep.
+type sweepOut struct {
+	total, removed, peak int
+	extinct              bool
+	end                  time.Duration
+	name                 string
+}
+
+// runSweep fans runs replications across the worker pool, replication r
+// on RNG stream base+r, and prints per-replication outcomes plus the
+// aggregate statistics. Results stream through the deterministic reducer
+// in replication order, so the printed report is identical for every
+// -workers value.
+func runSweep(mkDefense func(uint64) (defense.Defense, error),
+	mkConfig func(defense.Defense, uint64) sim.Config,
+	runs, workers int, base uint64) error {
+
+	// Surface config errors (bad defense name, unbounded null defense)
+	// before launching the pool.
+	if _, err := mkDefense(base); err != nil {
+		return err
+	}
+
+	var (
+		totals, peaks, durations stats.Accumulator
+		extinct                  int
+		name                     string
+	)
+	fmt.Println("   run    stream   total  removed    peak  extinct       end")
+	_, err := parallel.Reduce(runs, workers, 0,
+		func(r int) (sweepOut, error) {
+			stream := base + uint64(r)
+			d, err := mkDefense(stream)
+			if err != nil {
+				return sweepOut{}, err
+			}
+			out, err := sim.Run(mkConfig(d, stream))
+			if err != nil {
+				return sweepOut{}, err
+			}
+			return sweepOut{
+				total:   out.TotalInfected,
+				removed: out.TotalRemoved,
+				peak:    out.PeakActive,
+				extinct: out.Extinct,
+				end:     out.EndTime,
+				name:    d.Name(),
+			}, nil
+		},
+		func(_ int, r int, o sweepOut) (int, error) {
+			fmt.Printf("%6d %9d %7d %8d %7d %8v %9s\n",
+				r, base+uint64(r), o.total, o.removed, o.peak, o.extinct,
+				o.end.Round(time.Millisecond))
+			totals.AddInt(o.total)
+			peaks.AddInt(o.peak)
+			durations.Add(o.end.Seconds())
+			if o.extinct {
+				extinct++
+			}
+			name = o.name
+			return 0, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	ts, err := totals.Summary()
+	if err != nil {
+		return err
+	}
+	ps, err := peaks.Summary()
+	if err != nil {
+		return err
+	}
+	ds, err := durations.Summary()
+	if err != nil {
+		return err
+	}
+	// The worker count is deliberately absent from the report: the sweep
+	// output is part of the determinism contract and must be
+	// byte-identical for every -workers value.
+	fmt.Printf("defense: %s  replications: %d (streams %d..%d)\n",
+		name, runs, base, base+uint64(runs)-1)
+	fmt.Printf("total infected: mean %.2f  std %.2f  min %.0f  max %.0f\n",
+		ts.Mean, ts.Std, ts.Min, ts.Max)
+	fmt.Printf("peak active:    mean %.2f  std %.2f  min %.0f  max %.0f\n",
+		ps.Mean, ps.Std, ps.Min, ps.Max)
+	fmt.Printf("duration (s):   mean %.2f  std %.2f  min %.2f  max %.2f\n",
+		ds.Mean, ds.Std, ds.Min, ds.Max)
+	fmt.Printf("extinct: %d/%d (%.1f%%)\n", extinct, runs, 100*float64(extinct)/float64(runs))
 	return nil
 }

@@ -1,6 +1,37 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// captureRun executes run(args) with stdout captured, returning the
+// printed report.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
 
 func TestRunSmallScenario(t *testing.T) {
 	// A tiny contained run that finishes in milliseconds.
@@ -37,6 +68,51 @@ func TestRunStealthAndCountermeasures(t *testing.T) {
 		"-immunize-rate", "0.01", "-horizon", "5s", "-seed", "9"}
 	if err := run(args); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	// The -runs sweep must print a byte-identical report for any
+	// -workers value: replication r always uses stream base+r and the
+	// reducer prints in replication order.
+	base := []string{"-v", "2000", "-i0", "3", "-m", "12", "-rate", "30",
+		"-seed", "11", "-horizon", "3s", "-runs", "16"}
+	ref := captureRun(t, append(base, "-workers", "1"))
+	if ref == "" {
+		t.Fatal("empty sweep report")
+	}
+	for _, workers := range []string{"4", "8"} {
+		got := captureRun(t, append(base, "-workers", workers))
+		if got != ref {
+			t.Errorf("workers=%s report differs:\n--- workers=1 ---\n%s\n--- workers=%s ---\n%s",
+				workers, ref, workers, got)
+		}
+	}
+}
+
+func TestRunSweepPerDefense(t *testing.T) {
+	for _, d := range []string{"mlimit", "throttle", "quarantine"} {
+		args := []string{"-v", "1000", "-i0", "2", "-m", "5", "-rate", "20",
+			"-defense", d, "-horizon", "2s", "-runs", "4", "-workers", "2"}
+		if err := run(args); err != nil {
+			t.Fatalf("defense %s: %v", d, err)
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	cases := [][]string{
+		// Zero replications.
+		{"-v", "1000", "-runs", "0"},
+		// -path needs a single replication.
+		{"-v", "1000", "-horizon", "1s", "-runs", "2", "-path"},
+		// Unbounded null defense must be rejected before the pool starts.
+		{"-v", "1000", "-defense", "none", "-runs", "4"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }
 

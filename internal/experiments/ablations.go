@@ -7,6 +7,7 @@ import (
 	"wormcontain/internal/addr"
 	"wormcontain/internal/defense"
 	"wormcontain/internal/epidemic"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
 	"wormcontain/internal/stats"
@@ -95,24 +96,37 @@ func runAblationDefense(opts Options) (*Result, error) {
 		var labels []string
 		var means []float64
 		for di, mk := range defenses {
-			totals := make([]int, 0, runs)
-			var name string
-			for r := 0; r < runs; r++ {
+			// One defense instance per replication, built inside the
+			// replication function: each parallel worker owns its defense
+			// and RNG streams exclusively.
+			type cell struct {
+				name  string
+				total int
+			}
+			cells, err := parallel.Map(runs, opts.Workers, func(r int) (cell, error) {
 				d, err := mk(uint64(r))
 				if err != nil {
-					return nil, err
+					return cell{}, err
 				}
-				name = d.Name()
 				cfg, err := enterpriseConfig(w.rate, d, opts.Seed, uint64(di*1000+r))
 				if err != nil {
-					return nil, err
+					return cell{}, err
 				}
 				cfg.Horizon = w.horizon
 				out, err := sim.Run(cfg)
 				if err != nil {
-					return nil, err
+					return cell{}, err
 				}
-				totals = append(totals, out.TotalInfected)
+				return cell{name: d.Name(), total: out.TotalInfected}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			totals := make([]int, 0, runs)
+			var name string
+			for _, c := range cells {
+				totals = append(totals, c.total)
+				name = c.name
 			}
 			sum, err := stats.SummarizeInts(totals)
 			if err != nil {
@@ -156,8 +170,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 
 	// Uncontained Code Red early phase at 6 scans/s.
 	const scanRate = 6.0
-	finals := make([]int, 0, runs)
-	for r := 0; r < runs; r++ {
+	finals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
 		cfg := sim.Config{
 			V:           360000,
 			I0:          10,
@@ -169,9 +182,12 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 		}
 		out, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		finals = append(finals, out.TotalInfected)
+		return out.TotalInfected, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sum, err := stats.SummarizeInts(finals)
 	if err != nil {
@@ -195,8 +211,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 	}
 	tfFinal := tfTraj.States[len(tfTraj.States)-1][0]
 
-	patchedFinals := make([]int, 0, runs)
-	for r := 0; r < runs; r++ {
+	patchedFinals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
 		out, err := sim.Run(sim.Config{
 			V:           360000,
 			I0:          10,
@@ -208,10 +223,13 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 			Stream:      uint64(r),
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		// Active infected at the horizon is the ODE's I(t).
-		patchedFinals = append(patchedFinals, out.TotalInfected-out.TotalRemoved)
+		return out.TotalInfected - out.TotalRemoved, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	patchedSum, err := stats.SummarizeInts(patchedFinals)
 	if err != nil {
@@ -276,11 +294,10 @@ func runAblationPreference(opts Options) (*Result, error) {
 		Title: "A3: preference-scanning worm vs uniform under the same M-limit",
 	}
 	for _, sc := range scanners {
-		totals := make([]int, 0, runs)
-		for r := 0; r < runs; r++ {
+		totals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
 			d, err := defense.NewMLimit(m, 365*24*time.Hour)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg := sim.Config{
 				V:             v,
@@ -295,9 +312,12 @@ func runAblationPreference(opts Options) (*Result, error) {
 			}
 			out, err := sim.Run(cfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			totals = append(totals, out.TotalInfected)
+			return out.TotalInfected, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		sum, err := stats.SummarizeInts(totals)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
 	"wormcontain/internal/detect"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
 )
@@ -106,23 +107,27 @@ func runAblationDetection(opts Options) (*Result, error) {
 			Y:     infectedAt,
 		}},
 	}
-	for _, d := range []detect.Detector{th, ka, ew} {
-		fired := false
+	// Each detector replays the monitoring signal independently; they
+	// are stateful but disjoint, so one worker drives each. obs and
+	// infectedAt are shared read-only.
+	detectors := []detect.Detector{th, ka, ew}
+	detNotes, err := parallel.Map(len(detectors), opts.Workers, func(di int) (string, error) {
+		d := detectors[di]
 		for i, o := range obs {
 			if d.Observe(o) {
-				res.Notes = append(res.Notes, fmt.Sprintf(
+				return fmt.Sprintf(
 					"%s: alarm at minute %d with %d hosts infected (%.4f%% of V)",
-					d.Name(), i, int(infectedAt[i]), 100*infectedAt[i]/v))
-				fired = true
-				break
+					d.Name(), i, int(infectedAt[i]), 100*infectedAt[i]/v), nil
 			}
 		}
-		if !fired {
-			res.Notes = append(res.Notes, fmt.Sprintf(
-				"%s: never fired within the %d-minute horizon (%d infected at end)",
-				d.Name(), minutes-1, int(infectedAt[len(infectedAt)-1])))
-		}
+		return fmt.Sprintf(
+			"%s: never fired within the %d-minute horizon (%d infected at end)",
+			d.Name(), minutes-1, int(infectedAt[len(infectedAt)-1])), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Notes = append(res.Notes, detNotes...)
 
 	// The M-limit comparison: no detection, yet the 99th-percentile
 	// outbreak stays below the detectors' footprints.

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+
+	"wormcontain/internal/parallel"
+)
+
+// TestWorkerCountInvariance is the engine's acceptance test: for a fixed
+// seed, workers=1 and workers=8 must produce byte-identical experiment
+// output — every series value, every note, in the same order. It covers
+// one runner per ported replication-loop style: the fast Monte-Carlo
+// engine (fig7/fig8), the DES defense sweep (ablation-defense), the
+// duty-cycle sweep (ablation-stealth), the per-case intrusiveness fanout
+// (ablation-intrusiveness), and the trace growth curves (fig6).
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several artifacts twice")
+	}
+	ids := []string{"fig7", "fig8", "fig6", "ablation-defense", "ablation-stealth",
+		"ablation-intrusiveness"}
+	for _, id := range ids {
+		serial, err := Run(id, Options{Seed: 7, Quick: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", id, err)
+		}
+		parallelRes, err := Run(id, Options{Seed: 7, Quick: true, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", id, err)
+		}
+		a, b := serial.Format(), parallelRes.Format()
+		if a != b {
+			t.Errorf("%s: workers=1 and workers=8 output differs:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				id, a, b)
+		}
+	}
+}
+
+// TestMonteCarloWorkerSweep drives the headline Monte-Carlo figure
+// across a wider ladder of worker counts; any divergence pins the exact
+// replication that broke the stream-per-replication contract.
+func TestMonteCarloWorkerSweep(t *testing.T) {
+	ref, err := Run("fig7", Options{Seed: 11, Quick: true, Runs: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := Run("fig7", Options{Seed: 11, Quick: true, Runs: 64, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for si := range ref.Series {
+			for k := range ref.Series[si].Y {
+				if got.Series[si].Y[k] != ref.Series[si].Y[k] {
+					t.Fatalf("workers=%d: series %d diverges at k=%d: %v != %v",
+						workers, si, k, got.Series[si].Y[k], ref.Series[si].Y[k])
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       Options
+		wantRuns int
+	}{
+		{"zero runs defaults to the paper's 1000", Options{}, 1000},
+		{"zero runs under Quick defaults to 200", Options{Quick: true}, 200},
+		{"negative runs is also the sentinel", Options{Runs: -5}, 1000},
+		{"explicit runs is honored", Options{Runs: 7}, 7},
+		{"explicit runs beats Quick's default", Options{Runs: 7, Quick: true}, 7},
+		{"explicit large runs is untouched", Options{Runs: 5000, Quick: true}, 5000},
+	}
+	for _, c := range cases {
+		got := c.in.normalize()
+		if got.Runs != c.wantRuns {
+			t.Errorf("%s: Runs = %d, want %d", c.name, got.Runs, c.wantRuns)
+		}
+	}
+
+	// Seed and Workers defaults.
+	n := Options{}.normalize()
+	if n.Seed != 20050628 {
+		t.Errorf("default Seed = %d, want 20050628", n.Seed)
+	}
+	if n.Workers != parallel.DefaultWorkers() {
+		t.Errorf("default Workers = %d, want %d", n.Workers, parallel.DefaultWorkers())
+	}
+	kept := Options{Seed: 9, Workers: 3}.normalize()
+	if kept.Seed != 9 || kept.Workers != 3 {
+		t.Errorf("explicit Seed/Workers changed: %+v", kept)
+	}
+	if w := (Options{Workers: -1}).normalize().Workers; w != parallel.DefaultWorkers() {
+		t.Errorf("negative Workers normalized to %d, want %d", w, parallel.DefaultWorkers())
+	}
+}

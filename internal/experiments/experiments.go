@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"wormcontain/internal/parallel"
 )
 
 // Options tune a run without changing what is measured.
@@ -20,17 +22,28 @@ type Options struct {
 	// Seed selects the deterministic random stream for stochastic
 	// experiments.
 	Seed uint64
-	// Runs is the Monte-Carlo replication count; 0 means the paper's
-	// 1000.
+	// Runs is the Monte-Carlo replication count. Zero (and any negative
+	// value) is a SENTINEL meaning "use the default": the paper's 1000
+	// replications, or 200 under Quick. The sentinel makes an explicit
+	// request for zero replications inexpressible, which is deliberate —
+	// every stochastic runner needs at least one replication
+	// (sim.RunFastMonteCarlo rejects runs < 1) — but note the corollary:
+	// any Runs >= 1 is honored exactly as given, even when Quick is set.
+	// TestNormalizeDefaults pins this contract.
 	Runs int
 	// Quick reduces replication counts and simulation sizes for smoke
 	// tests; headline shapes survive, confidence intervals widen.
 	Quick bool
+	// Workers bounds the replication worker pool; 0 (or negative) means
+	// parallel.DefaultWorkers() = runtime.GOMAXPROCS(0). The engine is
+	// deterministic: every worker count produces bit-identical results,
+	// so Workers trades wall-clock only, never output.
+	Workers int
 }
 
 // normalize fills defaults.
 func (o Options) normalize() Options {
-	if o.Runs == 0 {
+	if o.Runs <= 0 {
 		if o.Quick {
 			o.Runs = 200
 		} else {
@@ -39,6 +52,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 20050628 // DSN 2005 conference date
+	}
+	if o.Workers <= 0 {
+		o.Workers = parallel.DefaultWorkers()
 	}
 	return o
 }

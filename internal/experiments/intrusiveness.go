@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wormcontain/internal/defense"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
 )
@@ -69,16 +70,22 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 		ID:    "ablation-intrusiveness",
 		Title: "A5: containment vs collateral damage on legitimate traffic, per defense",
 	}
-	var contained, fpRate []float64
-	var labels []string
-	for ci, c := range cases {
-		d, err := c.make()
+	// The four defense cases are independent replications: each builds
+	// its own defense instance (and RNG streams) inside the replication
+	// function, so they fan across the worker pool.
+	type caseOut struct {
+		label         string
+		contained, fp float64
+		note          string
+	}
+	outs, err := parallel.Map(len(cases), opts.Workers, func(ci int) (caseOut, error) {
+		d, err := cases[ci].make()
 		if err != nil {
-			return nil, err
+			return caseOut{}, err
 		}
 		cfg, err := enterpriseConfig(20, d, opts.Seed, uint64(ci))
 		if err != nil {
-			return nil, err
+			return caseOut{}, err
 		}
 		cfg.Horizon = horizon
 		// Disable the early-stop cap so every defense is exposed to the
@@ -87,18 +94,31 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 		cfg.Background = &background
 		out, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return caseOut{}, err
 		}
 		bg := out.Background
-		labels = append(labels, d.Name())
-		contained = append(contained, float64(out.TotalInfected))
-		fpRate = append(fpRate, bg.FalsePositiveRate())
-		res.Notes = append(res.Notes, fmt.Sprintf(
-			"%s: infected %d/2000; legit traffic: %d conns, %d dropped (fp rate %.4f), "+
-				"%d delayed (mean delay %v), %d hosts blocked",
-			d.Name(), out.TotalInfected, bg.Conns, bg.Dropped,
-			bg.FalsePositiveRate(), bg.Delayed, bg.MeanDelay().Round(time.Millisecond),
-			bg.HostsBlocked))
+		return caseOut{
+			label:     d.Name(),
+			contained: float64(out.TotalInfected),
+			fp:        bg.FalsePositiveRate(),
+			note: fmt.Sprintf(
+				"%s: infected %d/2000; legit traffic: %d conns, %d dropped (fp rate %.4f), "+
+					"%d delayed (mean delay %v), %d hosts blocked",
+				d.Name(), out.TotalInfected, bg.Conns, bg.Dropped,
+				bg.FalsePositiveRate(), bg.Delayed, bg.MeanDelay().Round(time.Millisecond),
+				bg.HostsBlocked),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var contained, fpRate []float64
+	var labels []string
+	for _, o := range outs {
+		labels = append(labels, o.label)
+		contained = append(contained, o.contained)
+		fpRate = append(fpRate, o.fp)
+		res.Notes = append(res.Notes, o.note)
 	}
 	xs := make([]float64, len(labels))
 	for i := range xs {
@@ -114,34 +134,38 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 	// bursts, while the M-limit doesn't care about rate at all as long
 	// as the monthly distinct-address total stays under M.
 	bursty := sim.BackgroundConfig{Hosts: bgHosts, ConnRate: 2, NewDestProb: 0.5}
-	for ci, c := range cases {
-		d, err := c.make()
+	burstyNotes, err := parallel.Map(len(cases), opts.Workers, func(ci int) (string, error) {
+		d, err := cases[ci].make()
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		// M sized from a trace audit, far above bursty-legit totals.
 		if ci == 1 {
 			if d, err = defense.NewMLimit(5000, 365*24*time.Hour); err != nil {
-				return nil, err
+				return "", err
 			}
 		}
 		cfg, err := enterpriseConfig(20, d, opts.Seed, uint64(100+ci))
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		cfg.Horizon = horizon
 		cfg.MaxInfected = 0
 		cfg.Background = &bursty
 		out, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		bg := out.Background
-		res.Notes = append(res.Notes, fmt.Sprintf(
+		return fmt.Sprintf(
 			"bursty-legit under %s: %d conns, %d dropped (fp %.4f), %d delayed (mean %v)",
 			d.Name(), bg.Conns, bg.Dropped, bg.FalsePositiveRate(),
-			bg.Delayed, bg.MeanDelay().Round(time.Millisecond)))
+			bg.Delayed, bg.MeanDelay().Round(time.Millisecond)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Notes = append(res.Notes, burstyNotes...)
 	res.Notes = append(res.Notes,
 		"two-sided reading: only the M-limit sits in the good corner — "+
 			"contained outbreak AND untouched legitimate traffic, for both "+

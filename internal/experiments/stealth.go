@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wormcontain/internal/defense"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/sim"
 )
 
@@ -60,23 +61,29 @@ func runAblationStealth(opts Options) (*Result, error) {
 	var means []float64
 	var labels []string
 	for si, sc := range scenarios {
-		total := 0
-		for r := 0; r < runs; r++ {
+		totals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
 			d, err := sc.mk()
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg, err := enterpriseConfig(burstRate, d, opts.Seed, uint64(si*100+r))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg.DutyCycle = &duty
 			cfg.Horizon = horizon
 			out, err := sim.Run(cfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			total += out.TotalInfected
+			return out.TotalInfected, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, t := range totals {
+			total += t
 		}
 		mean := float64(total) / float64(runs)
 		means = append(means, mean)
@@ -96,16 +103,18 @@ func runAblationStealth(opts Options) (*Result, error) {
 	})
 
 	// Time-stretching demonstration: the same M-limit containment, with
-	// and without the duty cycle, run to extinction.
-	for _, stealthy := range []bool{false, true} {
+	// and without the duty cycle, run to extinction. The two variants are
+	// independent replications, so they ride the same worker pool.
+	stretchNotes, err := parallel.Map(2, opts.Workers, func(r int) (string, error) {
+		stealthy := r == 1
 		d, err := defense.NewMLimit(mLimit, 365*24*time.Hour)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		// 1 scan/s so the M=25 budget spans multiple duty cycles.
 		cfg, err := enterpriseConfig(1, d, opts.Seed, 777)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		label := "always-on"
 		if stealthy {
@@ -114,12 +123,16 @@ func runAblationStealth(opts Options) (*Result, error) {
 		}
 		out, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		res.Notes = append(res.Notes, fmt.Sprintf(
+		return fmt.Sprintf(
 			"%s worm at 1 scan/s under m-limit(M=%d): total infected %d, extinct %v, duration %v",
-			label, mLimit, out.TotalInfected, out.Extinct, out.EndTime.Round(time.Second)))
+			label, mLimit, out.TotalInfected, out.Extinct, out.EndTime.Round(time.Second)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Notes = append(res.Notes, stretchNotes...)
 	res.Notes = append(res.Notes,
 		"reading: the throttle queues each burst and serves it during the sleep "+
 			"(average rate < 1/s), so the stealth worm spreads as if undefended; "+

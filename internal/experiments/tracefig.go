@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wormcontain/internal/core"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/trace"
 )
 
@@ -36,22 +37,31 @@ func runFig6(opts Options) (*Result, error) {
 		ID:    "fig6",
 		Title: "distinct destination IPs over 30 days, six most active hosts (Fig. 6)",
 	}
+	// Sampling the six growth curves is embarrassingly parallel: the
+	// Analysis is read-only after construction, and Map returns the
+	// series in host-rank order regardless of which worker finishes
+	// first.
 	const gridPoints = 60
-	for _, top := range analysis.Top(6) {
-		times, counts, err := analysis.GrowthCurve(top.Host, gridPoints)
+	top := analysis.Top(6)
+	curves, err := parallel.Map(len(top), opts.Workers, func(i int) (Series, error) {
+		times, counts, err := analysis.GrowthCurve(top[i].Host, gridPoints)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		xs := make([]float64, len(times))
-		for i, at := range times {
-			xs[i] = at.Hours()
+		for j, at := range times {
+			xs[j] = at.Hours()
 		}
-		res.Series = append(res.Series, Series{
-			Label: fmt.Sprintf("host %d (%d distinct)", top.Host, top.Distinct),
+		return Series{
+			Label: fmt.Sprintf("host %d (%d distinct)", top[i].Host, top[i].Distinct),
 			X:     xs,
 			Y:     counts,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Series = append(res.Series, curves...)
 
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("hosts below 100 distinct destinations: %.1f%% (paper: 97%%)",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wormcontain/internal/dist"
+	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/stats"
 )
@@ -104,8 +105,20 @@ func (m *MonteCarlo) Summary() (stats.Summary, error) {
 // RunFastMonteCarlo performs runs independent replications of FastTotal,
 // replication r drawing from stream r of cfg.Seed. This is the engine
 // behind the paper's "we ran this simulation with M = 10,000 for a 1000
-// times and collected the values of I" (Section V).
+// times and collected the values of I" (Section V). Replications are
+// fanned across parallel.DefaultWorkers() workers; results are identical
+// to a serial run (see RunFastMonteCarloWorkers).
 func RunFastMonteCarlo(cfg FastConfig, runs int) (*MonteCarlo, error) {
+	return RunFastMonteCarloWorkers(cfg, runs, parallel.DefaultWorkers())
+}
+
+// RunFastMonteCarloWorkers is RunFastMonteCarlo with an explicit worker
+// count (workers <= 0 selects parallel.DefaultWorkers()). Replication r
+// always draws from RNG stream r and the totals are accumulated in
+// replication order on the reducer goroutine, so the result — Totals
+// slice and histogram alike — is bit-for-bit identical for every worker
+// count.
+func RunFastMonteCarloWorkers(cfg FastConfig, runs, workers int) (*MonteCarlo, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("sim: monte carlo needs runs >= 1, got %d", runs)
 	}
@@ -116,14 +129,18 @@ func RunFastMonteCarlo(cfg FastConfig, runs int) (*MonteCarlo, error) {
 		Totals: make([]int, 0, runs),
 		Hist:   stats.NewIntHistogram(),
 	}
-	for r := 0; r < runs; r++ {
-		src := rng.NewPCG64(cfg.Seed, uint64(r))
-		total, err := FastTotal(cfg, src)
-		if err != nil {
-			return nil, err
-		}
-		mc.Totals = append(mc.Totals, total)
-		mc.Hist.Add(total)
+	_, err := parallel.Reduce(runs, workers, mc,
+		func(r int) (int, error) {
+			src := rng.NewPCG64(cfg.Seed, uint64(r))
+			return FastTotal(cfg, src)
+		},
+		func(mc *MonteCarlo, _ int, total int) (*MonteCarlo, error) {
+			mc.Totals = append(mc.Totals, total)
+			mc.Hist.Add(total)
+			return mc, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return mc, nil
 }

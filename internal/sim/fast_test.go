@@ -132,6 +132,43 @@ func TestFastMonteCarloDeterministic(t *testing.T) {
 	}
 }
 
+func TestFastMonteCarloWorkerCountInvariant(t *testing.T) {
+	// The parallel engine's contract: replication r always draws from
+	// stream r and merges in replication order, so the Monte-Carlo result
+	// is bit-for-bit identical for every worker count.
+	cfg := FastConfig{V: 5000, SpaceSize: 1 << 24, M: 2000, I0: 5, Seed: 44}
+	ref, err := RunFastMonteCarloWorkers(cfg, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		got, err := RunFastMonteCarloWorkers(cfg, 200, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Totals) != len(ref.Totals) {
+			t.Fatalf("workers=%d: %d totals, want %d", workers, len(got.Totals), len(ref.Totals))
+		}
+		for i := range ref.Totals {
+			if got.Totals[i] != ref.Totals[i] {
+				t.Fatalf("workers=%d: replication %d = %d, want %d",
+					workers, i, got.Totals[i], ref.Totals[i])
+			}
+		}
+		lo, hi, _ := ref.Hist.Range()
+		glo, ghi, _ := got.Hist.Range()
+		if glo != lo || ghi != hi {
+			t.Fatalf("workers=%d: histogram range [%d,%d], want [%d,%d]", workers, glo, ghi, lo, hi)
+		}
+		for v := lo; v <= hi; v++ {
+			if got.Hist.Count(v) != ref.Hist.Count(v) {
+				t.Fatalf("workers=%d: hist[%d] = %d, want %d",
+					workers, v, got.Hist.Count(v), ref.Hist.Count(v))
+			}
+		}
+	}
+}
+
 func TestFastAgreesWithFullDES(t *testing.T) {
 	// Cross-engine validation: the generational engine and the full
 	// discrete-event engine sample the same total-infection
