@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint ci
+.PHONY: build test race bench bench-json lint ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ race:
 # measurement runs are `go test -bench=. -benchmem` at the repo root.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-json measures the telemetry and gateway benchmark suites and
+# records name → ns/op, B/op, allocs/op in BENCH_PR2.json — the
+# machine-readable proof that the instrumented gateway hot path stays
+# within 5% of the uninstrumented baseline.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime 1s \
+		./internal/telemetry ./internal/gateway
 
 lint:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,165 @@
+// Command benchjson runs Go benchmarks and records the results as a
+// stable JSON map — benchmark name → ns/op, B/op, allocs/op — so a
+// perf-sensitive change can land with a machine-readable before/after
+// record (BENCH_PR2.json) instead of numbers pasted into a commit
+// message.
+//
+//	benchjson -out BENCH_PR2.json ./internal/telemetry ./internal/gateway
+//
+// The tool shells out to `go test -bench -benchmem` and parses the
+// standard output format, so it measures exactly what a developer
+// running the benchmarks by hand would see. The GOMAXPROCS suffix
+// (-8 in BenchmarkFoo-8) is stripped so recorded names compare across
+// machines; with -count > 1, runs of the same benchmark are averaged.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// result is one benchmark's recorded metrics.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// run executes the benchmarks and writes the JSON record. The raw
+// `go test` output is echoed to stderr so CI logs keep the full
+// context; only the JSON goes to -out (or to out when -out is empty).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		outPath   = fs.String("out", "", "JSON output path (empty = stdout)")
+		bench     = fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime = fs.String("benchtime", "1s", "per-benchmark budget (go test -benchtime)")
+		count     = fs.Int("count", 1, "runs per benchmark, averaged (go test -count)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("-count %d, must be >= 1", *count)
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	cmdArgs := append([]string{
+		"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count),
+	}, pkgs...)
+	cmd := exec.Command("go", cmdArgs...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+
+	results, err := parseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in go test output")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(results), *outPath)
+	return nil
+}
+
+// gomaxprocsSuffix is the -N the testing package appends to benchmark
+// names; stripped so records compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts (name → metrics) from `go test -bench -benchmem`
+// output. Repeated names (from -count > 1 or identical sub-benchmark
+// names across packages) are averaged.
+func parseBench(r io.Reader) (map[string]result, error) {
+	type accum struct {
+		sum result
+		n   int
+	}
+	acc := make(map[string]*accum)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  1234  56.7 ns/op  8 B/op  1 allocs/op
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var res result
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		a := acc[name]
+		if a == nil {
+			a = &accum{}
+			acc[name] = a
+		}
+		a.sum.NsPerOp += res.NsPerOp
+		a.sum.BytesPerOp += res.BytesPerOp
+		a.sum.AllocsPerOp += res.AllocsPerOp
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result, len(acc))
+	for name, a := range acc {
+		out[name] = result{
+			NsPerOp:     a.sum.NsPerOp / float64(a.n),
+			BytesPerOp:  a.sum.BytesPerOp / float64(a.n),
+			AllocsPerOp: a.sum.AllocsPerOp / float64(a.n),
+		}
+	}
+	return out, nil
+}

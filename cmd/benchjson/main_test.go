@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: wormcontain/internal/telemetry
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCounterInc-4              	100000000	        10.60 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCounterIncParallel-4      	134917428	         8.970 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecisionHotPath/instrumented-4 	 5465733	       419.4 ns/op	     192 B/op	       3 allocs/op
+BenchmarkRepeated-4                	       1	       100.0 ns/op	      10 B/op	       1 allocs/op
+BenchmarkRepeated-4                	       1	       300.0 ns/op	      30 B/op	       3 allocs/op
+PASS
+ok  	wormcontain/internal/telemetry	25.755s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	inc := got["BenchmarkCounterInc"]
+	if inc.NsPerOp != 10.60 || inc.BytesPerOp != 0 || inc.AllocsPerOp != 0 {
+		t.Errorf("CounterInc = %+v", inc)
+	}
+	// Sub-benchmark names keep their slash path, lose the -N suffix.
+	hot, ok := got["BenchmarkDecisionHotPath/instrumented"]
+	if !ok {
+		t.Fatalf("missing sub-benchmark entry: %v", got)
+	}
+	if hot.NsPerOp != 419.4 || hot.BytesPerOp != 192 || hot.AllocsPerOp != 3 {
+		t.Errorf("hot path = %+v", hot)
+	}
+	// -count > 1 repetitions average.
+	rep := got["BenchmarkRepeated"]
+	if rep.NsPerOp != 200 || rep.BytesPerOp != 20 || rep.AllocsPerOp != 2 {
+		t.Errorf("repeated = %+v, want averages 200/20/2", rep)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkBad-4 12 notanumber ns/op\n"))
+	if err == nil {
+		t.Error("expected parse error for non-numeric value")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-count", "0"}, &buf); err == nil {
+		t.Error("expected error for -count 0")
+	}
+}

@@ -62,7 +62,8 @@ func runServe(args []string) error {
 		id        = fs.String("id", "gateway", "gateway id in reports")
 		interval  = fs.Duration("report-interval", 10*time.Second, "reporting period")
 		statePath = fs.String("state", "", "limiter snapshot file (restored at start, saved at exit)")
-		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /stats); empty = off")
+		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /stats, /metrics); empty = off")
+		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,13 +89,21 @@ func runServe(args []string) error {
 
 	var admin *gateway.AdminServer
 	if *adminAddr != "" {
-		a, err := gateway.NewAdminServer(gw.Stats, *adminAddr)
+		a, err := gateway.NewAdmin(gateway.AdminConfig{
+			Stats:    func() any { return gw.Stats() },
+			Registry: gw.Registry(),
+			Pprof:    *pprofOn,
+		}, *adminAddr)
 		if err != nil {
 			return err
 		}
 		admin = a
 		go func() { _ = admin.Serve() }()
-		fmt.Printf("admin endpoint on http://%s (/healthz, /stats)\n", admin.Addr())
+		routes := "/healthz, /stats, /metrics"
+		if *pprofOn {
+			routes += ", /debug/pprof/"
+		}
+		fmt.Printf("admin endpoint on http://%s (%s)\n", admin.Addr(), routes)
 	}
 
 	var reporter *gateway.Reporter
@@ -180,8 +189,10 @@ func saveLimiter(l *core.Limiter, path string) error {
 func runCollect(args []string) error {
 	fs := flag.NewFlagSet("wormgate collect", flag.ContinueOnError)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:7700", "collector listen address")
-		interval = fs.Duration("print-interval", 10*time.Second, "aggregate print period")
+		listen    = fs.String("listen", "127.0.0.1:7700", "collector listen address")
+		interval  = fs.Duration("print-interval", 10*time.Second, "aggregate print period")
+		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /stats, /metrics); empty = off")
+		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -193,6 +204,21 @@ func runCollect(args []string) error {
 	fmt.Printf("collector listening on %s\n", c.Addr())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- c.Serve() }()
+
+	var admin *gateway.AdminServer
+	if *adminAddr != "" {
+		admin, err = gateway.NewAdmin(gateway.AdminConfig{
+			Stats:    func() any { return c.Aggregate() },
+			Registry: c.Registry(),
+			Pprof:    *pprofOn,
+		}, *adminAddr)
+		if err != nil {
+			return err
+		}
+		go func() { _ = admin.Serve() }()
+		fmt.Printf("admin endpoint on http://%s\n", admin.Addr())
+		defer admin.Shutdown()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

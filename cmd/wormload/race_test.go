@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the binary was built with the race
+// detector, which slows the load path far below the smoke threshold.
+const raceEnabled = true

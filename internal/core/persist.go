@@ -27,6 +27,7 @@ type limiterState struct {
 	CheckFraction float64         `json:"checkFraction"`
 	EpochUnixMs   int64           `json:"epochUnixMillis"`
 	CycleIndex    uint64          `json:"cycleIndex"`
+	TotalObserved int             `json:"totalObserved,omitempty"`
 	TotalRemovals int             `json:"totalRemovals"`
 	TotalFlags    int             `json:"totalFlags"`
 	TotalDenied   int             `json:"totalDenied"`
@@ -56,6 +57,7 @@ func (l *Limiter) MarshalState() ([]byte, error) {
 		CheckFraction: l.cfg.CheckFraction,
 		EpochUnixMs:   l.epoch.UnixMilli(),
 		CycleIndex:    l.cycleIndex,
+		TotalObserved: l.totalObserved,
 		TotalRemovals: l.totalRemovals,
 		TotalFlags:    l.totalFlags,
 		TotalDenied:   l.totalDenied,
@@ -104,6 +106,7 @@ func RestoreLimiter(data []byte) (*Limiter, error) {
 		epoch:         time.UnixMilli(st.EpochUnixMs).UTC(),
 		cycleIndex:    st.CycleIndex,
 		hosts:         make(map[uint32]*hostState, len(st.Hosts)),
+		totalObserved: st.TotalObserved,
 		totalRemovals: st.TotalRemovals,
 		totalFlags:    st.TotalFlags,
 		totalDenied:   st.TotalDenied,

@@ -97,6 +97,7 @@ type Limiter struct {
 	hosts      map[uint32]*hostState
 
 	// cumulative statistics across all cycles
+	totalObserved int
 	totalRemovals int
 	totalFlags    int
 	totalDenied   int
@@ -130,6 +131,10 @@ func (l *Limiter) Observe(src, dst uint32, t time.Time) Decision {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.rollCycleLocked(t)
+	// Counted while the lock is already held, so enforcement points get
+	// an exact observation total at zero marginal cost: every decision
+	// counter a gateway needs derives from totals maintained here.
+	l.totalObserved++
 
 	h := l.hosts[src]
 	if h == nil {
@@ -229,6 +234,9 @@ type Stats struct {
 	RemovedHosts int
 	// FlaggedHosts is the number of hosts flagged this cycle.
 	FlaggedHosts int
+	// TotalObserved counts Observe calls across all cycles. Decision
+	// counters derive from it: allows = observed - denied - flags.
+	TotalObserved int
 	// TotalRemovals counts removals across all cycles.
 	TotalRemovals int
 	// TotalFlags counts fraction-f flags across all cycles.
@@ -243,6 +251,7 @@ func (l *Limiter) Snapshot() Stats {
 	defer l.mu.Unlock()
 	s := Stats{
 		ActiveHosts:   len(l.hosts),
+		TotalObserved: l.totalObserved,
 		TotalRemovals: l.totalRemovals,
 		TotalFlags:    l.totalFlags,
 		TotalDenied:   l.totalDenied,

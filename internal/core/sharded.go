@@ -77,6 +77,7 @@ func (s *ShardedLimiter) Snapshot() Stats {
 		out.ActiveHosts += st.ActiveHosts
 		out.RemovedHosts += st.RemovedHosts
 		out.FlaggedHosts += st.FlaggedHosts
+		out.TotalObserved += st.TotalObserved
 		out.TotalRemovals += st.TotalRemovals
 		out.TotalFlags += st.TotalFlags
 		out.TotalDenied += st.TotalDenied

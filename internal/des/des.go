@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"wormcontain/internal/telemetry"
 )
 
 // Handler is the callback invoked when an event fires. It runs on the
@@ -91,6 +93,30 @@ type Simulator struct {
 	events  eventHeap
 	fired   uint64
 	stopped bool
+	metrics *kernelMetrics
+}
+
+// kernelMetrics is the kernel's optional telemetry wiring. The
+// instruments are atomic, so a scraper on another goroutine reads them
+// safely even though the Simulator itself is single-threaded.
+type kernelMetrics struct {
+	events *telemetry.Counter
+	depth  *telemetry.Gauge
+}
+
+// Instrument registers the kernel's metric families into reg and
+// enables per-event updates: des_events_executed_total counts fired
+// events and des_queue_depth tracks the pending-event count. Without
+// Instrument the kernel touches no instruments at all, so simulations
+// that don't scrape pay only a nil check per event.
+func (s *Simulator) Instrument(reg *telemetry.Registry) {
+	s.metrics = &kernelMetrics{
+		events: reg.Counter("des_events_executed_total",
+			"Discrete events executed by the simulation kernel."),
+		depth: reg.Gauge("des_queue_depth",
+			"Events pending in the kernel's priority queue."),
+	}
+	s.metrics.depth.Set(float64(len(s.events)))
 }
 
 // New returns a simulator with the clock at zero.
@@ -153,6 +179,12 @@ func (s *Simulator) Step() bool {
 		h := t.handler
 		t.handler = nil
 		h()
+		if m := s.metrics; m != nil {
+			// After the handler, so the depth reflects events it
+			// scheduled.
+			m.events.Inc()
+			m.depth.Set(float64(len(s.events)))
+		}
 		return true
 	}
 	return false

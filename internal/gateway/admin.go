@@ -6,47 +6,99 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"wormcontain/internal/telemetry"
 )
 
-// AdminServer exposes a gateway's operational state over HTTP for
-// dashboards and scrapers:
+// AdminConfig selects what an admin endpoint exposes.
+type AdminConfig struct {
+	// Stats, when non-nil, serves its return value as JSON on
+	// GET /stats (typically a GatewayStats or collector aggregate).
+	Stats func() any
+	// Registry, when non-nil, serves the Prometheus text exposition on
+	// GET /metrics.
+	Registry *telemetry.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/. Debug-only: the
+	// profiling handlers can observe and perturb the process, so they
+	// are off by default and should stay firewalled when enabled.
+	Pprof bool
+}
+
+// AdminServer exposes a gateway's or collector's operational state over
+// HTTP for dashboards and scrapers:
 //
-//	GET /healthz — liveness probe ("ok")
-//	GET /stats   — the GatewayStats snapshot as JSON
+//	GET /healthz      — liveness probe ("ok")
+//	GET /stats        — the configured snapshot as JSON
+//	GET /metrics      — Prometheus text exposition (v0.0.4)
+//	GET /debug/pprof/ — runtime profiles (only with AdminConfig.Pprof)
 //
 // It is a separate listener from the WCP/1 data path, so operators can
 // firewall the two independently.
 type AdminServer struct {
-	source func() GatewayStats
+	cfg    AdminConfig
 	server *http.Server
 	ln     net.Listener
 	done   chan struct{}
 }
 
-// NewAdminServer builds the admin endpoint for the given stats source
-// (typically Gateway.Stats), listening on listenAddr.
-func NewAdminServer(source func() GatewayStats, listenAddr string) (*AdminServer, error) {
-	if source == nil {
-		return nil, errors.New("gateway: admin server needs a stats source")
+// getOnly wraps a handler so any method other than GET is rejected with
+// 405 — the one guard every read-only admin route shares.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// NewAdmin builds an admin endpoint from cfg, listening on listenAddr.
+// At least one of Stats and Registry must be set.
+func NewAdmin(cfg AdminConfig, listenAddr string) (*AdminServer, error) {
+	if cfg.Stats == nil && cfg.Registry == nil {
+		return nil, errors.New("gateway: admin server needs a stats source or a registry")
 	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: admin listen: %w", err)
 	}
 	a := &AdminServer{
-		source: source,
-		ln:     ln,
-		done:   make(chan struct{}),
+		cfg:  cfg,
+		ln:   ln,
+		done: make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", a.handleHealth)
-	mux.HandleFunc("/stats", a.handleStats)
+	mux.HandleFunc("/healthz", getOnly(a.handleHealth))
+	if cfg.Stats != nil {
+		mux.HandleFunc("/stats", getOnly(a.handleStats))
+	}
+	if cfg.Registry != nil {
+		mux.HandleFunc("/metrics", getOnly(cfg.Registry.Handler().ServeHTTP))
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	a.server = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return a, nil
+}
+
+// NewAdminServer builds the legacy stats-only admin endpoint for the
+// given source (typically Gateway.Stats), listening on listenAddr.
+func NewAdminServer(source func() GatewayStats, listenAddr string) (*AdminServer, error) {
+	if source == nil {
+		return nil, errors.New("gateway: admin server needs a stats source")
+	}
+	return NewAdmin(AdminConfig{Stats: func() any { return source() }}, listenAddr)
 }
 
 // Addr returns the admin endpoint's listen address.
@@ -71,22 +123,14 @@ func (a *AdminServer) Shutdown() {
 
 // handleHealth implements GET /healthz.
 func (a *AdminServer) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
 // handleStats implements GET /stats.
 func (a *AdminServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(a.source()); err != nil {
+	if err := json.NewEncoder(w).Encode(a.cfg.Stats()); err != nil {
 		// Headers are already out; nothing useful left to send.
 		_ = err
 	}

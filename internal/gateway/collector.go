@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"wormcontain/internal/telemetry"
 )
 
 // Report is one gateway's periodic counter snapshot, serialized as one
@@ -26,12 +28,14 @@ type Report struct {
 // f·M, how many were removed, whether the fleet sees an outbreak).
 type Collector struct {
 	listener net.Listener
+	reg      *telemetry.Registry
 
-	mu      sync.Mutex
-	latest  map[string]Report
-	total   int
-	closed  bool
-	badLine int
+	mu       sync.Mutex
+	latest   map[string]Report
+	latestAt map[string]time.Time // receive time of each latest report
+	total    int
+	closed   bool
+	badLine  int
 
 	wg sync.WaitGroup
 }
@@ -42,10 +46,71 @@ func NewCollector(listenAddr string) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gateway: collector listen: %w", err)
 	}
-	return &Collector{
+	c := &Collector{
 		listener: ln,
+		reg:      telemetry.NewRegistry(),
 		latest:   make(map[string]Report),
-	}, nil
+		latestAt: make(map[string]time.Time),
+	}
+	c.registerMetrics()
+	return c, nil
+}
+
+// Registry returns the collector's telemetry registry — the source for
+// an admin server's /metrics endpoint. All collector families are
+// function-backed reads of state the collector already synchronizes,
+// so scraping never contends with the report ingest path beyond one
+// mutex acquisition.
+func (c *Collector) Registry() *telemetry.Registry { return c.reg }
+
+// registerMetrics wires the collector's families into its registry.
+func (c *Collector) registerMetrics() {
+	c.reg.CounterFunc("wormgate_collector_reports_total",
+		"Valid gateway reports consumed.",
+		func() float64 { return float64(c.ReportsReceived()) })
+	c.reg.CounterFunc("wormgate_collector_bad_lines_total",
+		"Malformed report lines seen.",
+		func() float64 { return float64(c.BadLines()) })
+	c.reg.GaugeFunc("wormgate_collector_gateways",
+		"Gateways with at least one report.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.latest))
+		})
+	c.reg.GaugeFunc("wormgate_collector_report_staleness_seconds",
+		"Age of the stalest gateway's most recent report.",
+		func() float64 { return c.Staleness().Seconds() })
+	c.reg.CounterFunc("wormgate_fleet_relayed_total",
+		"Relayed connections summed over the fleet's latest reports.",
+		func() float64 { return float64(c.Aggregate().Relayed) })
+	c.reg.CounterFunc("wormgate_fleet_denied_total",
+		"Denied connections summed over the fleet's latest reports.",
+		func() float64 { return float64(c.Aggregate().Denied) })
+	c.reg.CounterFunc("wormgate_fleet_flagged_total",
+		"Flagged connections summed over the fleet's latest reports.",
+		func() float64 { return float64(c.Aggregate().Flagged) })
+	c.reg.CounterFunc("wormgate_fleet_removals_total",
+		"Host removals summed over the fleet's latest reports.",
+		func() float64 { return float64(c.Aggregate().TotalRemovals) })
+}
+
+// Staleness returns the age of the stalest gateway's most recent
+// report (zero when no gateway has reported yet) — the fleet-health
+// gauge: a growing value means a gateway stopped reporting.
+func (c *Collector) Staleness() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var oldest time.Time
+	for _, at := range c.latestAt {
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
 }
 
 // Addr returns the collector's listening address.
@@ -96,6 +161,7 @@ func (c *Collector) consume(conn net.Conn) {
 		}
 		c.mu.Lock()
 		c.latest[r.GatewayID] = r
+		c.latestAt[r.GatewayID] = time.Now()
 		c.total++
 		c.mu.Unlock()
 	}

@@ -33,10 +33,22 @@ import (
 
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
+	"wormcontain/internal/telemetry"
 )
 
 // protocolMagic opens every WCP/1 request line.
 const protocolMagic = "WCP/1"
+
+// Preformatted verdict lines: the status write sits on the per-
+// connection hot path, where fmt's formatting machinery is measurable
+// at tens of thousands of connections per second.
+var (
+	respOK            = []byte("OK\n")
+	respCheck         = []byte("CHECK\n")
+	respDenyLimit     = []byte("DENY scan-limit-exceeded\n")
+	respDenyMalformed = []byte("DENY malformed-request\n")
+	respDenyUpstream  = []byte("DENY upstream-unreachable\n")
+)
 
 // Dialer opens the upstream connection for a permitted relay. Injectable
 // for tests and for policy routing; the zero Config uses net.Dial with a
@@ -55,6 +67,12 @@ type Config struct {
 	// Now supplies time for limiter observations; nil means time.Now.
 	// Injectable so tests and simulations drive a virtual clock.
 	Now func() time.Time
+	// Metrics, when non-nil, is the telemetry registry the gateway
+	// registers its metric families into (shared with an admin server's
+	// /metrics endpoint). Nil means a private registry, reachable via
+	// Gateway.Registry; instrumentation is always on — the sharded
+	// counters cost single-digit nanoseconds per connection.
+	Metrics *telemetry.Registry
 }
 
 // Gateway is the enforcement point. Create with New, start with Serve,
@@ -62,13 +80,11 @@ type Config struct {
 type Gateway struct {
 	cfg      Config
 	listener net.Listener
+	reg      *telemetry.Registry
+	metrics  *metricSet
 
-	mu       sync.Mutex
-	closed   bool
-	relayed  uint64
-	denied   uint64
-	flagged  uint64
-	protoErr uint64
+	mu     sync.Mutex
+	closed bool
 
 	wg sync.WaitGroup
 }
@@ -91,12 +107,25 @@ func New(cfg Config, listenAddr string) (*Gateway, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
-	return &Gateway{cfg: cfg, listener: ln}, nil
+	return &Gateway{
+		cfg:      cfg,
+		listener: ln,
+		reg:      reg,
+		metrics:  newMetricSet(reg, cfg.Limiter),
+	}, nil
 }
+
+// Registry returns the telemetry registry holding the gateway's metric
+// families — the source for an admin server's /metrics endpoint.
+func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
 
 // Addr returns the gateway's listening address.
 func (g *Gateway) Addr() string { return g.listener.Addr().String() }
@@ -144,18 +173,18 @@ type GatewayStats struct {
 	Limiter        core.Stats `json:"limiter"`
 }
 
-// Stats returns the current snapshot.
+// Stats returns the current snapshot. Relay counters come from the
+// telemetry registry and decision counters from the limiter's own
+// totals — the same two sources /metrics reads, so the surfaces agree.
 func (g *Gateway) Stats() GatewayStats {
-	g.mu.Lock()
-	s := GatewayStats{
-		Relayed:        g.relayed,
-		Denied:         g.denied,
-		Flagged:        g.flagged,
-		ProtocolErrors: g.protoErr,
+	lim := g.cfg.Limiter.Snapshot()
+	return GatewayStats{
+		Relayed:        g.metrics.relayed.Value(),
+		Denied:         uint64(lim.TotalDenied),
+		Flagged:        uint64(lim.TotalFlags),
+		ProtocolErrors: g.metrics.protoErr.Value(),
+		Limiter:        lim,
 	}
-	g.mu.Unlock()
-	s.Limiter = g.cfg.Limiter.Snapshot()
-	return s
 }
 
 // request is a parsed WCP/1 header.
@@ -186,50 +215,67 @@ func parseRequest(line string) (request, error) {
 	return request{src: src, dst: dst, dstPort: port}, nil
 }
 
+// observe runs the limiter decision for one connection — the hot path.
+// Decision counting happens inside the limiter (under the mutex it
+// already holds), so the only cost added here is one Bernoulli coin
+// flip; a sampled minority of decisions additionally pays for the two
+// clock reads feeding the latency histogram.
+func (g *Gateway) observe(src, dst uint32) core.Decision {
+	if g.metrics.sampler.Sample() {
+		start := time.Now()
+		d := g.cfg.Limiter.Observe(src, dst, g.cfg.Now())
+		g.metrics.decisionSeconds.Observe(time.Since(start))
+		return d
+	}
+	return g.cfg.Limiter.Observe(src, dst, g.cfg.Now())
+}
+
 // handle serves one client connection end to end.
 func (g *Gateway) handle(client net.Conn) {
 	defer client.Close()
 
-	reader := bufio.NewReader(io.LimitReader(client, 256))
+	// The request line fits in the 256-byte limit, so a full-size bufio
+	// buffer would be pure allocation overhead at high accept rates.
+	reader := bufio.NewReaderSize(io.LimitReader(client, 256), 256)
 	line, err := reader.ReadString('\n')
 	if err != nil {
-		g.count(&g.protoErr)
+		g.metrics.protoErr.Inc()
 		return
 	}
 	req, err := parseRequest(line)
 	if err != nil {
-		g.count(&g.protoErr)
-		fmt.Fprintf(client, "DENY malformed-request\n")
+		g.metrics.protoErr.Inc()
+		_, _ = client.Write(respDenyMalformed)
 		return
 	}
 
-	decision := g.cfg.Limiter.Observe(uint32(req.src), uint32(req.dst), g.cfg.Now())
-	switch decision {
+	switch g.observe(uint32(req.src), uint32(req.dst)) {
 	case core.Deny:
-		g.count(&g.denied)
-		fmt.Fprintf(client, "DENY scan-limit-exceeded\n")
+		_, _ = client.Write(respDenyLimit)
 		return
 	case core.AllowAndCheck:
-		g.count(&g.flagged)
-		if _, err := fmt.Fprintf(client, "CHECK\n"); err != nil {
+		if _, err := client.Write(respCheck); err != nil {
 			return
 		}
 	case core.Allow:
-		if _, err := fmt.Fprintf(client, "OK\n"); err != nil {
+		if _, err := client.Write(respOK); err != nil {
 			return
 		}
 	default:
-		g.count(&g.protoErr)
+		g.metrics.protoErr.Inc()
 		return
 	}
 
 	upstream, err := g.cfg.Dial("tcp", net.JoinHostPort(req.dst.String(), strconv.Itoa(req.dstPort)))
 	if err != nil {
-		fmt.Fprintf(client, "DENY upstream-unreachable\n")
+		g.metrics.dialErrors.Inc()
+		_, _ = client.Write(respDenyUpstream)
 		return
 	}
 	defer upstream.Close()
-	g.count(&g.relayed)
+	g.metrics.relayed.Inc()
+	g.metrics.activeRelays.Add(1)
+	defer g.metrics.activeRelays.Add(-1)
 
 	// Bidirectional relay; each direction closes the other on EOF.
 	done := make(chan struct{}, 1)
@@ -243,32 +289,49 @@ func (g *Gateway) handle(client net.Conn) {
 					done <- struct{}{}
 					return
 				}
+				g.metrics.bytesOut.Add(uint64(n))
 			}
 		}
-		copyHalf(upstream, client)
+		g.metrics.bytesOut.Add(copyHalf(upstream, client))
 		done <- struct{}{}
 	}()
-	copyHalf(client, upstream)
+	g.metrics.bytesIn.Add(copyHalf(client, upstream))
 	<-done
 }
 
-// copyHalf copies one direction and half-closes the destination so the
-// peer sees EOF.
-func copyHalf(dst, src net.Conn) {
+// copyBuffers pools relay copy buffers: at tens of thousands of
+// connections per second, a fresh 32KB io.Copy buffer per direction is
+// the dominant allocation on the whole gateway.
+var copyBuffers = sync.Pool{
+	New: func() any {
+		b := make([]byte, 32*1024)
+		return &b
+	},
+}
+
+// copyHalf copies one direction, half-closes the destination so the
+// peer sees EOF, and returns the bytes copied. TCP-to-TCP pairs go
+// through io.Copy so the runtime can splice in-kernel; any other pair
+// hides the destination's ReadFrom (whose generic fallback allocates a
+// fresh 32KB buffer per call) and copies through the pool.
+func copyHalf(dst, src net.Conn) uint64 {
 	// Errors here mean the relay is over; the deferred Closes clean up.
-	_, _ = io.Copy(dst, src)
+	var n int64
+	_, dstTCP := dst.(*net.TCPConn)
+	_, srcTCP := src.(*net.TCPConn)
+	if dstTCP && srcTCP {
+		n, _ = io.Copy(dst, src)
+	} else {
+		buf := copyBuffers.Get().(*[]byte)
+		n, _ = io.CopyBuffer(struct{ io.Writer }{dst}, src, *buf)
+		copyBuffers.Put(buf)
+	}
 	if tcp, ok := dst.(*net.TCPConn); ok {
 		_ = tcp.CloseWrite()
 	} else {
 		_ = dst.Close()
 	}
-}
-
-// count bumps one counter under the mutex.
-func (g *Gateway) count(c *uint64) {
-	g.mu.Lock()
-	*c++
-	g.mu.Unlock()
+	return uint64(n)
 }
 
 // Client is a minimal WCP/1 client used by tests, tools and host agents.
@@ -296,11 +359,20 @@ func (c Client) Connect(src, dst addr.IP, port int) (net.Conn, bool, error) {
 		conn.Close()
 		return nil, false, fmt.Errorf("gateway client: deadline: %w", err)
 	}
-	if _, err := fmt.Fprintf(conn, "%s %s %s %d\n", protocolMagic, src, dst, port); err != nil {
+	req := make([]byte, 0, 48)
+	req = append(req, protocolMagic...)
+	req = append(req, ' ')
+	req = append(req, src.String()...)
+	req = append(req, ' ')
+	req = append(req, dst.String()...)
+	req = append(req, ' ')
+	req = strconv.AppendInt(req, int64(port), 10)
+	req = append(req, '\n')
+	if _, err := conn.Write(req); err != nil {
 		conn.Close()
 		return nil, false, fmt.Errorf("gateway client: send request: %w", err)
 	}
-	status, err := bufio.NewReader(io.LimitReader(conn, 256)).ReadString('\n')
+	status, err := bufio.NewReaderSize(io.LimitReader(conn, 256), 256).ReadString('\n')
 	if err != nil {
 		conn.Close()
 		return nil, false, fmt.Errorf("gateway client: read status: %w", err)

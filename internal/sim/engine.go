@@ -27,6 +27,7 @@ import (
 	"wormcontain/internal/des"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/stats"
+	"wormcontain/internal/telemetry"
 )
 
 // Status is a vulnerable host's epidemiological state.
@@ -120,6 +121,12 @@ type Config struct {
 	// exact monitor-visible scan stream here instead of reconstructing
 	// it from aggregate series.
 	ScanObserver func(src, dst addr.IP, t time.Duration)
+	// Metrics, when non-nil, wires the run into a telemetry registry:
+	// the DES kernel's event counter and queue-depth gauge plus
+	// scan-fate and infection counters. Counters are safe to share
+	// across concurrent replications, where they aggregate. Nil (the
+	// default) adds no instrumentation at all.
+	Metrics *telemetry.Registry
 	// Seed and Stream select the deterministic random stream.
 	Seed, Stream uint64
 	// RecordPaths enables the time-series sample paths (Figs. 9–10);
@@ -231,6 +238,30 @@ type engine struct {
 	scanner    []addr.Scanner  // per-host when factory set; else shared at [0]
 	res        *Result
 	active     int
+	metrics    *simMetrics
+}
+
+// simMetrics mirrors the Result scan-fate counters into a telemetry
+// registry so a live scrape can watch an in-flight run (or a whole
+// Monte-Carlo sweep, when replications share the registry).
+type simMetrics struct {
+	delivered  *telemetry.Counter
+	delayed    *telemetry.Counter
+	dropped    *telemetry.Counter
+	infections *telemetry.Counter
+}
+
+// newSimMetrics registers the simulator's families into reg.
+func newSimMetrics(reg *telemetry.Registry) *simMetrics {
+	scans := reg.CounterVec("sim_scans_total",
+		"Worm scans by defense verdict.", "fate")
+	return &simMetrics{
+		delivered: scans.With("delivered"),
+		delayed:   scans.With("delayed"),
+		dropped:   scans.With("dropped"),
+		infections: reg.Counter("sim_infections_total",
+			"Hosts infected, including the I0 seeds."),
+	}
 }
 
 // Run executes one full discrete-event simulation.
@@ -255,6 +286,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := range e.status {
 		e.status[i] = Susceptible
+	}
+	if cfg.Metrics != nil {
+		e.sim.Instrument(cfg.Metrics)
+		e.metrics = newSimMetrics(cfg.Metrics)
 	}
 	if cfg.RecordPaths {
 		e.res.InfectedSeries = stats.NewTimeSeries()
@@ -315,6 +350,9 @@ func (e *engine) infect(i, g int) {
 	}
 	e.res.Generations[g]++
 	e.res.TotalInfected++
+	if m := e.metrics; m != nil {
+		m.infections.Inc()
+	}
 	e.active++
 	if e.active > e.res.PeakActive {
 		e.res.PeakActive = e.active
@@ -429,21 +467,33 @@ func (e *engine) scanAttempt(i int) {
 	switch v.Action {
 	case defense.Permit:
 		e.res.Delivered++
+		if m := e.metrics; m != nil {
+			m.delivered.Inc()
+		}
 		e.deliver(srcIP, dst, i)
 		if e.status[i] == Infected { // deliver may have stopped the run
 			e.scheduleNextScan(i)
 		}
 	case defense.Delay:
 		e.res.Delayed++
+		if m := e.metrics; m != nil {
+			m.delayed.Inc()
+		}
 		if !e.guardEvents() {
 			e.sim.Schedule(v.Delay, func() {
 				e.res.Delivered++
+				if m := e.metrics; m != nil {
+					m.delivered.Inc()
+				}
 				e.deliver(srcIP, dst, i)
 			})
 		}
 		e.scheduleNextScan(i)
 	case defense.Drop:
 		e.res.Dropped++
+		if m := e.metrics; m != nil {
+			m.dropped.Inc()
+		}
 		if rel, ok := e.cfg.Defense.(Releaser); ok {
 			if at, blocked := rel.ReleaseAt(srcIP, now); blocked {
 				// Temporary block (quarantine): resume attempting once

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"wormcontain/internal/telemetry"
+)
+
+func TestRunMetricsMirrorResult(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := smallCfg(7)
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	check := func(name, label string, want uint64) {
+		t.Helper()
+		var v float64
+		var ok bool
+		if label == "" {
+			v, ok = snap.Value(name)
+		} else {
+			v, ok = snap.Value(name, label)
+		}
+		if !ok {
+			t.Errorf("family %s{%s} missing", name, label)
+			return
+		}
+		if v != float64(want) {
+			t.Errorf("%s{%s} = %v, want %d", name, label, v, want)
+		}
+	}
+	check("sim_scans_total", "delivered", res.Delivered)
+	check("sim_scans_total", "delayed", res.Delayed)
+	check("sim_scans_total", "dropped", res.Dropped)
+	check("sim_infections_total", "", uint64(res.TotalInfected))
+
+	// The DES kernel was instrumented through the same registry.
+	if v, ok := snap.Value("des_events_executed_total"); !ok || v <= 0 {
+		t.Errorf("des_events_executed_total = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := snap.Value("des_queue_depth"); !ok || v != 0 {
+		t.Errorf("des_queue_depth after drain = %v (ok=%v), want 0", v, ok)
+	}
+}
+
+func TestRunMetricsOptional(t *testing.T) {
+	// Identical seeds with and without a registry must give identical
+	// results: instrumentation cannot perturb the deterministic stream.
+	plain, err := Run(smallCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(3)
+	cfg.Metrics = telemetry.NewRegistry()
+	wired, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalInfected != wired.TotalInfected ||
+		plain.TotalScans != wired.TotalScans ||
+		plain.EndTime != wired.EndTime {
+		t.Errorf("instrumented run diverged: %+v vs %+v", wired, plain)
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, cache-line-sharded counter.
+// Add and Inc are wait-free single atomic adds on a per-goroutine
+// stripe; Value sums the stripes. The zero value is not usable —
+// obtain counters from a Registry (or newCounter in tests).
+type Counter struct {
+	shards []shard
+}
+
+// newCounter allocates a counter with the package-wide shard count.
+func newCounter() *Counter {
+	return &Counter{shards: make([]shard, shardCount)}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.shards[shardIndex()].n.Add(1) }
+
+// Add adds n. Counters are monotonic: n is unsigned by design.
+func (c *Counter) Add(n uint64) { c.shards[shardIndex()].n.Add(n) }
+
+// Value returns the current total across all shards. Concurrent with
+// writers it is a linearization-free but monotone-consistent read: it
+// never undercounts a write that completed before the call began.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a float64-valued instantaneous measurement (queue depth,
+// in-flight connections, utilization). It is a single atomic word: set
+// is a store, add is a CAS loop. Gauges move orders of magnitude less
+// often than counters, so sharding would buy nothing.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// newGauge allocates a gauge at zero.
+func newGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Sampler admits each event independently with probability 1/every.
+// Hot paths use it to bound the cost of expensive observations (clock
+// reads for latency histograms) to a fixed fraction of traffic. The
+// coin flip is a single math/rand/v2 draw — per-P generator state, no
+// atomics, no shared cache lines — which is cheaper than even an
+// uncontended atomic add and therefore fits inside a single-digit-
+// nanosecond overhead budget.
+type Sampler struct {
+	mask uint64
+}
+
+// NewSampler returns a sampler admitting events with probability
+// 1/every; every is rounded up to a power of two, and values < 1 mean
+// "admit all".
+func NewSampler(every int) *Sampler {
+	p := uint64(1)
+	for p < uint64(max(every, 1)) {
+		p <<= 1
+	}
+	return &Sampler{mask: p - 1}
+}
+
+// Sample reports whether this event is admitted. Admission is
+// probabilistic (Bernoulli, not strided), so concurrent callers cannot
+// alias against periodic patterns in the workload.
+func (s *Sampler) Sample() bool {
+	return rand.Uint64()&s.mask == 0
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	c := newCounter()
+	const goroutines, each = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*each {
+		t.Errorf("Value = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	c := newCounter()
+	c.Add(5)
+	c.Add(7)
+	if got := c.Value(); got != 12 {
+		t.Errorf("Value = %d, want 12", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	g := newGauge()
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("after Set: %v", g.Value())
+	}
+	g.Add(-1.5)
+	if g.Value() != 2 {
+		t.Errorf("after Add: %v", g.Value())
+	}
+}
+
+func TestGaugeConcurrentAddBalances(t *testing.T) {
+	g := newGauge()
+	const goroutines, each = 8, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("balanced adds left gauge at %v", g.Value())
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(8)
+	const n = 64_000
+	admitted := 0
+	for i := 0; i < n; i++ {
+		if s.Sample() {
+			admitted++
+		}
+	}
+	// Binomial(64000, 1/8): sd ≈ 84, so ±n/64 = ±1000 is ~12σ — the
+	// test is deterministic in practice without pinning the generator.
+	if admitted < n/8-n/64 || admitted > n/8+n/64 {
+		t.Errorf("admitted %d of %d, want ~%d", admitted, n, n/8)
+	}
+}
+
+func TestSamplerAdmitAll(t *testing.T) {
+	s := NewSampler(0)
+	for i := 0; i < 10; i++ {
+		if !s.Sample() {
+			t.Fatal("every=0 sampler must admit everything")
+		}
+	}
+}

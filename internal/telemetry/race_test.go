@@ -1,0 +1,108 @@
+package telemetry
+
+// Concurrency hammer: many writer goroutines drive counters, gauges and
+// histograms while scrapers snapshot and render the registry. Run under
+// `go test -race`; the CI race job certifies this file.
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentWritersAndScrapers(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("events_total", "hammered", "kind")
+	fast := vec.With("fast")
+	slow := vec.With("slow")
+	depth := r.Gauge("depth", "")
+	lat := r.Histogram("latency_seconds", "")
+	r.GaugeFunc("dynamic", "", func() float64 { return float64(fast.Value()) })
+
+	const writers, scrapes, perWriter = 8, 50, 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fast.Inc()
+				if i%16 == 0 {
+					slow.Add(2)
+				}
+				depth.Add(1)
+				lat.Observe(time.Duration(i) * time.Nanosecond)
+				depth.Add(-1)
+			}
+		}(wr)
+	}
+
+	// Scrapers render the full exposition concurrently with the writers.
+	var scraperWg sync.WaitGroup
+	for sc := 0; sc < 2; sc++ {
+		scraperWg.Add(1)
+		go func() {
+			defer scraperWg.Done()
+			for i := 0; i < scrapes; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				s := r.Snapshot()
+				if v, ok := s.Value("events_total", "fast"); !ok || v < 0 {
+					t.Errorf("mid-flight snapshot bogus: %v %v", v, ok)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	scraperWg.Wait()
+
+	if got := fast.Value(); got != writers*perWriter {
+		t.Errorf("fast = %d, want %d", got, writers*perWriter)
+	}
+	if got := slow.Value(); got != writers*(perWriter/16)*2 {
+		t.Errorf("slow = %d, want %d", got, writers*(perWriter/16)*2)
+	}
+	if got := lat.Snapshot().Count; got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := depth.Value(); got != 0 {
+		t.Errorf("depth = %v, want 0", got)
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	// Racing get-or-create calls must converge on one instrument.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared_total", "x").Inc()
+				r.CounterVec("labeled_total", "y", "k").With("v").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got, _ := s.Value("shared_total"); got != 8000 {
+		t.Errorf("shared_total = %v, want 8000", got)
+	}
+	if got, _ := s.Value("labeled_total", "v"); got != 8000 {
+		t.Errorf("labeled_total = %v, want 8000", got)
+	}
+}
