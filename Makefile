@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint ci
+.PHONY: build test race bench bench-json lint chaos fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,29 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime 1s \
 		./internal/telemetry ./internal/gateway
 
+# The gateway chaos suite under the race detector across the same fault
+# seeds CI sweeps. Override with CHAOS_SEEDS="42" for a single seed.
+CHAOS_SEEDS ?= 1 7 1905
+chaos:
+	@for s in $(CHAOS_SEEDS); do \
+		echo "chaos seed $$s"; \
+		WORMGATE_CHAOS_SEED=$$s $(GO) test -race -run 'Chaos' -count=1 ./internal/gateway || exit 1; \
+	done
+
+# Ten seconds of native fuzzing per target, matching the CI fuzz-smoke
+# job.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPrometheusWriter -fuzztime 10s ./internal/telemetry
+	$(GO) test -run '^$$' -fuzz FuzzReportLine -fuzztime 10s ./internal/gateway
+
+# Coverage floor for the deployable network path; CI fails below 88.8%.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/gateway
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/gateway coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 88.8) ? 0 : 1 }' || \
+		{ echo "coverage $$total% is below the 88.8% floor" >&2; exit 1; }
+
 lint:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -39,4 +62,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race bench
+ci: lint build test race chaos cover bench

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +24,7 @@ import (
 
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
+	"wormcontain/internal/faultnet"
 	"wormcontain/internal/gateway"
 )
 
@@ -62,10 +64,21 @@ func runServe(args []string) error {
 		id        = fs.String("id", "gateway", "gateway id in reports")
 		interval  = fs.Duration("report-interval", 10*time.Second, "reporting period")
 		statePath = fs.String("state", "", "limiter snapshot file (restored at start, saved at exit)")
-		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /stats, /metrics); empty = off")
+		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /readyz, /stats, /metrics); empty = off")
 		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
+
+		failModeStr   = fs.String("fail-mode", "open", "degradation policy while the collector is unreachable: open (keep relaying) or closed (deny new connections)")
+		dialRetries   = fs.Int("dial-retries", 3, "upstream dial attempts per connection (1 = no retries)")
+		dialBackoff   = fs.Duration("dial-backoff", 50*time.Millisecond, "initial upstream dial backoff (doubles per retry, jittered)")
+		spoolSize     = fs.Int("report-spool", gateway.DefaultSpoolSize, "reports buffered in memory while the collector is unreachable")
+		reportRetries = fs.Int("report-retries", 0, "consecutive collector reconnect failures before giving up (0 = never)")
+		reportBackoff = fs.Duration("report-backoff", time.Second, "initial collector reconnect backoff (doubles, capped, jittered)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	failMode, err := gateway.ParseFailMode(*failModeStr)
+	if err != nil {
 		return err
 	}
 
@@ -78,11 +91,15 @@ func runServe(args []string) error {
 		return err
 	}
 
-	gw, err := gateway.New(gateway.Config{Limiter: limiter}, *listen)
+	gw, err := gateway.New(gateway.Config{
+		Limiter:   limiter,
+		FailMode:  failMode,
+		DialRetry: faultnet.RetryConfig{MaxAttempts: *dialRetries, BaseDelay: *dialBackoff},
+	}, *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("gateway %s listening on %s (M=%d, cycle=%v)\n", *id, gw.Addr(), *m, *cycle)
+	fmt.Printf("gateway %s listening on %s (M=%d, cycle=%v, fail-%s)\n", *id, gw.Addr(), *m, *cycle, failMode)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- gw.Serve() }()
@@ -92,6 +109,7 @@ func runServe(args []string) error {
 		a, err := gateway.NewAdmin(gateway.AdminConfig{
 			Stats:    func() any { return gw.Stats() },
 			Registry: gw.Registry(),
+			Ready:    func() bool { return !gw.Degraded() },
 			Pprof:    *pprofOn,
 		}, *adminAddr)
 		if err != nil {
@@ -99,7 +117,7 @@ func runServe(args []string) error {
 		}
 		admin = a
 		go func() { _ = admin.Serve() }()
-		routes := "/healthz, /stats, /metrics"
+		routes := "/healthz, /readyz, /stats, /metrics"
 		if *pprofOn {
 			routes += ", /debug/pprof/"
 		}
@@ -114,9 +132,17 @@ func runServe(args []string) error {
 			CollectorAddr: *collector,
 			Interval:      *interval,
 			Source:        gw.Stats,
+			SpoolSize:     *spoolSize,
+			Retry: faultnet.RetryConfig{
+				MaxAttempts: *reportRetries,
+				BaseDelay:   *reportBackoff,
+			},
+			Logf:          log.Printf,
+			OnStateChange: func(connected bool) { gw.SetDegraded(!connected) },
 		}
 		go func() { reporterErr <- reporter.Run() }()
-		fmt.Printf("reporting to %s every %v\n", *collector, *interval)
+		fmt.Printf("reporting to %s every %v (spool %d, fail-%s when unreachable)\n",
+			*collector, *interval, *spoolSize, failMode)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -146,6 +172,11 @@ func runServe(args []string) error {
 	s := gw.Stats()
 	fmt.Printf("final stats: relayed=%d denied=%d flagged=%d removals=%d\n",
 		s.Relayed, s.Denied, s.Flagged, s.Limiter.TotalRemovals)
+	if reporter != nil {
+		rs := reporter.Stats()
+		fmt.Printf("reporter stats: enqueued=%d sent=%d dropped=%d redials=%d reconnects=%d\n",
+			rs.Enqueued, rs.Sent, rs.Dropped, rs.Redials, rs.Reconnects)
+	}
 	return nil
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
+	"wormcontain/internal/faultnet"
 	"wormcontain/internal/gateway"
 	"wormcontain/internal/telemetry"
 )
@@ -54,6 +55,9 @@ func run(args []string, out io.Writer) error {
 		dstStr      = fs.String("dst", "198.51.100.1", "destination IPv4 requested from the gateway")
 		port        = fs.Int("port", 80, "destination port requested from the gateway")
 		dump        = fs.Bool("dump", false, "append the full Prometheus exposition to the report")
+		faults      = fs.String("faults", "", "fault profile injected on the self-gateway's upstream, e.g. dialfail=0.05,latency=0.1 (see faultnet.ParseProfile)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		retries     = fs.Int("retries", 1, "client connect attempts per request (1 = no retries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +77,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var injector *faultnet.Injector
+	if *faults != "" {
+		if *gwAddr != "" {
+			return errors.New("-faults applies to the self-contained gateway; drop -gateway to use it")
+		}
+		profile, err := faultnet.ParseProfile(*faults)
+		if err != nil {
+			return err
+		}
+		injector = faultnet.New(profile, *faultSeed)
+	}
+
 	reg := telemetry.NewRegistry()
 	outcomes := reg.CounterVec("wormload_requests_total",
 		"Load-generator requests by outcome.", "outcome")
@@ -87,14 +103,18 @@ func run(args []string, out io.Writer) error {
 
 	target := *gwAddr
 	if target == "" {
-		gw, err := selfGateway(reg)
+		gw, err := selfGateway(reg, injector)
 		if err != nil {
 			return err
 		}
 		defer gw.Shutdown()
 		go func() { _ = gw.Serve() }()
 		target = gw.Addr()
-		fmt.Fprintf(out, "self-contained gateway on %s (discard upstream)\n", target)
+		upstream := "discard upstream"
+		if injector != nil {
+			upstream = fmt.Sprintf("discard upstream, faults %s seed %d", *faults, *faultSeed)
+		}
+		fmt.Fprintf(out, "self-contained gateway on %s (%s)\n", target, upstream)
 	}
 
 	total := int64(*rate * duration.Seconds())
@@ -102,7 +122,11 @@ func run(args []string, out io.Writer) error {
 		total = 1
 	}
 	interval := time.Duration(float64(time.Second) / *rate)
-	client := gateway.Client{GatewayAddr: target, Timeout: 10 * time.Second}
+	client := gateway.Client{
+		GatewayAddr: target,
+		Timeout:     10 * time.Second,
+		Retry:       faultnet.RetryConfig{MaxAttempts: *retries, BaseDelay: 5 * time.Millisecond},
+	}
 	srcFirst, err := addr.ParseIP("10.0.0.1")
 	if err != nil {
 		return err
@@ -161,6 +185,9 @@ func run(args []string, out io.Writer) error {
 		h.Quantile(0.50).Round(time.Microsecond),
 		h.Quantile(0.95).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond))
+	if injector != nil {
+		fmt.Fprintf(out, "faults injected: %s\n", injector.CountsString())
+	}
 	if *dump {
 		fmt.Fprintln(out, "---")
 		if err := reg.WritePrometheus(out); err != nil {
@@ -173,8 +200,10 @@ func run(args []string, out io.Writer) error {
 // selfGateway builds an in-process gateway whose upstream dialer hands
 // back one side of an in-memory pipe with a discard sink on the other,
 // so the campaign measures the gateway hot path (accept, parse,
-// limiter, response) rather than an external server.
-func selfGateway(reg *telemetry.Registry) (*gateway.Gateway, error) {
+// limiter, response) rather than an external server. A non-nil
+// injector wraps that dialer with deterministic fault injection so the
+// campaign exercises the gateway's retry path under a seeded schedule.
+func selfGateway(reg *telemetry.Registry, injector *faultnet.Injector) (*gateway.Gateway, error) {
 	lim, err := core.NewLimiter(core.LimiterConfig{
 		M:     1 << 20, // effectively unlimited: the load is legitimate
 		Cycle: 30 * 24 * time.Hour,
@@ -182,13 +211,19 @@ func selfGateway(reg *telemetry.Registry) (*gateway.Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gateway.New(gateway.Config{
+	dial := func(network, address string) (net.Conn, error) {
+		return newDiscardConn(), nil
+	}
+	cfg := gateway.Config{
 		Limiter: lim,
 		Metrics: reg,
-		Dial: func(network, address string) (net.Conn, error) {
-			return newDiscardConn(), nil
-		},
-	}, "127.0.0.1:0")
+		Dial:    dial,
+	}
+	if injector != nil {
+		cfg.Dial = gateway.Dialer(injector.Dial(dial))
+		cfg.DialRetry = faultnet.RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	}
+	return gateway.New(cfg, "127.0.0.1:0")
 }
 
 // discardConn is a net.Conn that swallows writes and whose reads block

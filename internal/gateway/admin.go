@@ -20,6 +20,11 @@ type AdminConfig struct {
 	// Registry, when non-nil, serves the Prometheus text exposition on
 	// GET /metrics.
 	Registry *telemetry.Registry
+	// Ready, when non-nil, backs GET /readyz: 200 while it returns
+	// true, 503 otherwise. Wire it to !Gateway.Degraded so load
+	// balancers drain fail-closed gateways that lost their collector
+	// instead of sending traffic into a wall of DENYs.
+	Ready func() bool
 	// Pprof mounts net/http/pprof under /debug/pprof/. Debug-only: the
 	// profiling handlers can observe and perturb the process, so they
 	// are off by default and should stay firewalled when enabled.
@@ -30,6 +35,7 @@ type AdminConfig struct {
 // HTTP for dashboards and scrapers:
 //
 //	GET /healthz      — liveness probe ("ok")
+//	GET /readyz       — readiness probe (503 while degraded; with AdminConfig.Ready)
 //	GET /stats        — the configured snapshot as JSON
 //	GET /metrics      — Prometheus text exposition (v0.0.4)
 //	GET /debug/pprof/ — runtime profiles (only with AdminConfig.Pprof)
@@ -72,6 +78,9 @@ func NewAdmin(cfg AdminConfig, listenAddr string) (*AdminServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", getOnly(a.handleHealth))
+	if cfg.Ready != nil {
+		mux.HandleFunc("/readyz", getOnly(a.handleReady))
+	}
 	if cfg.Stats != nil {
 		mux.HandleFunc("/stats", getOnly(a.handleStats))
 	}
@@ -125,6 +134,18 @@ func (a *AdminServer) Shutdown() {
 func (a *AdminServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady implements GET /readyz: the readiness (vs liveness)
+// probe, 503 while the configured source reports not-ready.
+func (a *AdminServer) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !a.cfg.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // handleStats implements GET /stats.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wormcontain/internal/addr"
+	"wormcontain/internal/faultnet"
 )
 
 func newTestCollector(t *testing.T) *Collector {
@@ -102,7 +103,38 @@ func TestCollectorRejectsGarbage(t *testing.T) {
 	})
 }
 
+// Shutdown must terminate even while a reporter holds an open
+// connection: consume blocks in Scan until its peer hangs up, and a
+// reconnecting reporter never hangs up, so Shutdown has to close the
+// accepted connections itself.
+func TestCollectorShutdownClosesOpenConns(t *testing.T) {
+	leakCheck(t)
+	c, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Serve() }()
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(Report{GatewayID: "held"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "report consumed", func() bool { return c.ReportsReceived() == 1 })
+
+	done := make(chan struct{})
+	go func() { c.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return with an open reporter connection")
+	}
+}
+
 func TestReporterPushesPeriodically(t *testing.T) {
+	leakCheck(t)
 	c := newTestCollector(t)
 	var calls int
 	r := &Reporter{
@@ -131,13 +163,20 @@ func TestReporterValidation(t *testing.T) {
 	if err := (&Reporter{}).Run(); err == nil {
 		t.Error("expected error for missing fields")
 	}
+	// With a bounded retry budget, exhausting consecutive dial failures
+	// surfaces the last error (the default budget retries forever).
 	r := &Reporter{
 		GatewayID:     "x",
 		CollectorAddr: "127.0.0.1:1", // nothing listens here
+		Interval:      2 * time.Millisecond,
 		Source:        func() GatewayStats { return GatewayStats{} },
+		Retry:         faultnet.RetryConfig{MaxAttempts: 2, BaseDelay: time.Millisecond},
 	}
 	if err := r.Run(); err == nil {
-		t.Error("expected dial error")
+		t.Error("expected dial error after retry budget exhausted")
+	}
+	if s := r.Stats(); s.Redials != 2 || s.Sent != 0 {
+		t.Errorf("stats = %+v, want 2 redials, 0 sent", s)
 	}
 }
 
@@ -149,6 +188,7 @@ func TestEndToEndFleet(t *testing.T) {
 	// Full pipeline: two gateways with their own limiters, a scanning
 	// source tripping one of them, reporters pushing to one collector,
 	// operator reads the fleet aggregate.
+	leakCheck(t)
 	collector := newTestCollector(t)
 
 	var reporters []*Reporter

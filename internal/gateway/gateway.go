@@ -29,10 +29,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
+	"wormcontain/internal/faultnet"
 	"wormcontain/internal/telemetry"
 )
 
@@ -48,7 +50,48 @@ var (
 	respDenyLimit     = []byte("DENY scan-limit-exceeded\n")
 	respDenyMalformed = []byte("DENY malformed-request\n")
 	respDenyUpstream  = []byte("DENY upstream-unreachable\n")
+	respDenyDegraded  = []byte("DENY degraded-fail-closed\n")
 )
+
+// FailMode selects what a gateway does with new connections while it is
+// degraded — its reporter has lost the collector, so the fleet cannot
+// see this gateway's fraction-f warnings.
+type FailMode int
+
+const (
+	// FailOpen (the default) keeps relaying while degraded: containment
+	// still runs locally, only fleet visibility is lost. This preserves
+	// service during monitoring outages.
+	FailOpen FailMode = iota
+	// FailClosed denies new connections while degraded: the
+	// conservative containment posture for deployments where an
+	// unmonitored gateway during an outbreak is worse than an outage.
+	FailClosed
+)
+
+// String implements fmt.Stringer.
+func (m FailMode) String() string {
+	switch m {
+	case FailOpen:
+		return "open"
+	case FailClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("FailMode(%d)", int(m))
+	}
+}
+
+// ParseFailMode parses "open" or "closed".
+func ParseFailMode(s string) (FailMode, error) {
+	switch s {
+	case "open":
+		return FailOpen, nil
+	case "closed":
+		return FailClosed, nil
+	default:
+		return 0, fmt.Errorf("gateway: fail mode %q (want open or closed)", s)
+	}
+}
 
 // Dialer opens the upstream connection for a permitted relay. Injectable
 // for tests and for policy routing; the zero Config uses net.Dial with a
@@ -73,6 +116,19 @@ type Config struct {
 	// Gateway.Registry; instrumentation is always on — the sharded
 	// counters cost single-digit nanoseconds per connection.
 	Metrics *telemetry.Registry
+	// DialRetry retries the upstream dial with capped exponential
+	// backoff before the gateway denies the connection. MaxAttempts is
+	// the total number of dial attempts; <= 0 means 1 (no retries, the
+	// historical behavior). Worm-outbreak conditions make transient dial
+	// failures the norm, not the exception — see internal/faultnet.
+	DialRetry faultnet.RetryConfig
+	// FailMode selects the degradation policy applied while
+	// SetDegraded(true) is in effect (typically wired to the reporter's
+	// OnStateChange). Default FailOpen.
+	FailMode FailMode
+	// Sleep realizes dial-retry backoff delays; nil means time.Sleep.
+	// Injectable so chaos tests run fast.
+	Sleep func(time.Duration)
 }
 
 // Gateway is the enforcement point. Create with New, start with Serve,
@@ -82,6 +138,7 @@ type Gateway struct {
 	listener net.Listener
 	reg      *telemetry.Registry
 	metrics  *metricSet
+	degraded atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -107,6 +164,12 @@ func New(cfg Config, listenAddr string) (*Gateway, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.DialRetry.MaxAttempts <= 0 {
+		cfg.DialRetry.MaxAttempts = 1
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -115,13 +178,23 @@ func New(cfg Config, listenAddr string) (*Gateway, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
-	return &Gateway{
+	g := &Gateway{
 		cfg:      cfg,
 		listener: ln,
 		reg:      reg,
-		metrics:  newMetricSet(reg, cfg.Limiter),
-	}, nil
+	}
+	g.metrics = newMetricSet(reg, cfg.Limiter, &g.degraded)
+	return g, nil
 }
+
+// SetDegraded flips the gateway's degraded state — wired to the
+// reporter's OnStateChange so losing the collector engages the
+// configured FailMode. Safe from any goroutine.
+func (g *Gateway) SetDegraded(v bool) { g.degraded.Store(v) }
+
+// Degraded reports whether the gateway currently considers itself
+// degraded (fleet reporting down).
+func (g *Gateway) Degraded() bool { return g.degraded.Load() }
 
 // Registry returns the telemetry registry holding the gateway's metric
 // families — the source for an admin server's /metrics endpoint.
@@ -170,6 +243,9 @@ type GatewayStats struct {
 	Denied         uint64     `json:"denied"`
 	Flagged        uint64     `json:"flagged"`
 	ProtocolErrors uint64     `json:"protocolErrors"`
+	DialRetries    uint64     `json:"dialRetries"`
+	DegradedDenied uint64     `json:"degradedDenied"`
+	Degraded       bool       `json:"degraded"`
 	Limiter        core.Stats `json:"limiter"`
 }
 
@@ -183,6 +259,9 @@ func (g *Gateway) Stats() GatewayStats {
 		Denied:         uint64(lim.TotalDenied),
 		Flagged:        uint64(lim.TotalFlags),
 		ProtocolErrors: g.metrics.protoErr.Value(),
+		DialRetries:    g.metrics.dialRetries.Value(),
+		DegradedDenied: g.metrics.degradedDenied.Value(),
+		Degraded:       g.degraded.Load(),
 		Limiter:        lim,
 	}
 }
@@ -249,6 +328,16 @@ func (g *Gateway) handle(client net.Conn) {
 		return
 	}
 
+	// Fail-closed degradation: with fleet reporting down, a FailClosed
+	// gateway refuses new work before the limiter ever sees it — the
+	// denial is a policy outcome, not a containment decision, so it must
+	// not consume the source's scan budget.
+	if g.cfg.FailMode == FailClosed && g.degraded.Load() {
+		g.metrics.degradedDenied.Inc()
+		_, _ = client.Write(respDenyDegraded)
+		return
+	}
+
 	switch g.observe(uint32(req.src), uint32(req.dst)) {
 	case core.Deny:
 		_, _ = client.Write(respDenyLimit)
@@ -266,7 +355,7 @@ func (g *Gateway) handle(client net.Conn) {
 		return
 	}
 
-	upstream, err := g.cfg.Dial("tcp", net.JoinHostPort(req.dst.String(), strconv.Itoa(req.dstPort)))
+	upstream, err := g.dialUpstream(net.JoinHostPort(req.dst.String(), strconv.Itoa(req.dstPort)))
 	if err != nil {
 		g.metrics.dialErrors.Inc()
 		_, _ = client.Write(respDenyUpstream)
@@ -297,6 +386,26 @@ func (g *Gateway) handle(client net.Conn) {
 	}()
 	g.metrics.bytesIn.Add(copyHalf(client, upstream))
 	<-done
+}
+
+// dialUpstream opens the upstream connection, retrying transient
+// failures per Config.DialRetry. Each failed attempt past the first
+// increments the retry counter; only total failure (budget spent)
+// surfaces to the caller as a DENY.
+func (g *Gateway) dialUpstream(address string) (net.Conn, error) {
+	backoff := g.cfg.DialRetry.NewBackoff()
+	for {
+		conn, err := g.cfg.Dial("tcp", address)
+		if err == nil {
+			return conn, nil
+		}
+		delay, ok := backoff.Next()
+		if !ok {
+			return nil, err
+		}
+		g.metrics.dialRetries.Inc()
+		g.cfg.Sleep(delay)
+	}
 }
 
 // copyBuffers pools relay copy buffers: at tens of thousands of
@@ -340,18 +449,63 @@ type Client struct {
 	GatewayAddr string
 	// Timeout bounds the whole exchange (default 10s).
 	Timeout time.Duration
+	// Retry retries transient failures (dial errors, broken status
+	// exchanges) with capped exponential backoff. DENY verdicts are
+	// authoritative and never retried. MaxAttempts <= 0 means one
+	// attempt — the historical behavior.
+	Retry faultnet.RetryConfig
+	// Dial overrides the gateway dialer; nil means net.DialTimeout with
+	// Timeout. Injectable for fault-injection tests.
+	Dial func(network, address string) (net.Conn, error)
+	// Sleep realizes retry backoff delays; nil means time.Sleep.
+	Sleep func(time.Duration)
 }
 
-// Connect asks the gateway to relay src→dst:port. On success it returns
-// the connection (now piped to the destination) and whether the gateway
-// flagged the source for a checking process. The caller owns the
-// connection.
+// Connect asks the gateway to relay src→dst:port, retrying transient
+// failures per c.Retry. On success it returns the connection (now piped
+// to the destination) and whether the gateway flagged the source for a
+// checking process. The caller owns the connection. A DENY from the
+// gateway returns *DeniedError immediately, never retried.
 func (c Client) Connect(src, dst addr.IP, port int) (net.Conn, bool, error) {
+	retry := c.Retry
+	if retry.MaxAttempts <= 0 {
+		retry.MaxAttempts = 1
+	}
+	backoff := retry.NewBackoff()
+	for {
+		conn, flagged, err := c.connectOnce(src, dst, port)
+		if err == nil {
+			return conn, flagged, nil
+		}
+		var denied *DeniedError
+		if errors.As(err, &denied) {
+			return nil, false, err
+		}
+		delay, ok := backoff.Next()
+		if !ok {
+			return nil, false, err
+		}
+		if c.Sleep != nil {
+			c.Sleep(delay)
+		} else {
+			time.Sleep(delay)
+		}
+	}
+}
+
+// connectOnce performs a single WCP/1 exchange.
+func (c Client) connectOnce(src, dst addr.IP, port int) (net.Conn, bool, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", c.GatewayAddr, timeout)
+	dial := c.Dial
+	if dial == nil {
+		dial = func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, address, timeout)
+		}
+	}
+	conn, err := dial("tcp", c.GatewayAddr)
 	if err != nil {
 		return nil, false, fmt.Errorf("gateway client: dial: %w", err)
 	}

@@ -272,6 +272,7 @@ func TestGatewayUpstreamUnreachable(t *testing.T) {
 }
 
 func TestGatewayConcurrentClients(t *testing.T) {
+	leakCheck(t)
 	gw, _ := newTestGateway(t, 1000, 0)
 	client := Client{GatewayAddr: gw.Addr(), Timeout: 10 * time.Second}
 	var wg sync.WaitGroup
@@ -315,6 +316,7 @@ func TestGatewayConcurrentClients(t *testing.T) {
 }
 
 func TestGatewayShutdownIdempotent(t *testing.T) {
+	leakCheck(t)
 	gw, _ := newTestGateway(t, 5, 0)
 	gw.Shutdown()
 	gw.Shutdown() // second call must not panic or deadlock

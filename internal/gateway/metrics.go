@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wormcontain/internal/core"
@@ -24,11 +25,13 @@ const decisionSampleEvery = 64
 // from that exact state (allow = observed − denied − flags), and the
 // only instrumentation cost per connection is one Bernoulli coin flip.
 type metricSet struct {
-	relayed    *telemetry.Counter
-	protoErr   *telemetry.Counter
-	dialErrors *telemetry.Counter
-	bytesIn    *telemetry.Counter // upstream → client
-	bytesOut   *telemetry.Counter // client → upstream
+	relayed        *telemetry.Counter
+	protoErr       *telemetry.Counter
+	dialErrors     *telemetry.Counter
+	dialRetries    *telemetry.Counter
+	degradedDenied *telemetry.Counter
+	bytesIn        *telemetry.Counter // upstream → client
+	bytesOut       *telemetry.Counter // client → upstream
 
 	activeRelays    *telemetry.Gauge
 	decisionSeconds *telemetry.Histogram
@@ -39,7 +42,9 @@ type metricSet struct {
 // returns the live instruments. Limiter statistics are exposed through
 // a short-TTL cache so one scrape of the nine limiter-derived series
 // costs one Snapshot (which walks the host table) instead of nine.
-func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter) *metricSet {
+// degraded is the gateway's live degradation flag, exported as a 0/1
+// gauge so dashboards see a gateway that lost its collector.
+func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter, degraded *atomic.Bool) *metricSet {
 	bytes := reg.CounterVec("wormgate_relay_bytes_total",
 		"Bytes relayed through established connections.", "direction")
 	m := &metricSet{
@@ -48,7 +53,11 @@ func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter) *metricSet {
 		protoErr: reg.Counter("wormgate_protocol_errors_total",
 			"Connections dropped for malformed WCP/1 requests."),
 		dialErrors: reg.Counter("wormgate_upstream_dial_errors_total",
-			"Permitted connections whose upstream dial failed."),
+			"Permitted connections whose upstream dial failed after retries."),
+		dialRetries: reg.Counter("wormgate_upstream_dial_retries_total",
+			"Upstream dial attempts retried after a transient failure."),
+		degradedDenied: reg.Counter("wormgate_degraded_denied_total",
+			"Connections denied by the fail-closed degradation policy."),
 		bytesIn:  bytes.With("upstream_to_client"),
 		bytesOut: bytes.With("client_to_upstream"),
 		activeRelays: reg.Gauge("wormgate_active_relays",
@@ -57,6 +66,14 @@ func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter) *metricSet {
 			"Per-connection limiter decision latency (sampled 1/64)."),
 		sampler: telemetry.NewSampler(decisionSampleEvery),
 	}
+	reg.GaugeFunc("wormgate_degraded",
+		"1 while the gateway's fleet reporting is down (degraded), else 0.",
+		func() float64 {
+			if degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 
 	cache := &limiterStatsCache{limiter: limiter}
 	decisions := reg.CounterVec("wormgate_decisions_total",

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzPrometheusWriter builds a registry from fuzz-chosen names, help
+// strings, label values and sample values — including the hostile ones:
+// quotes, backslashes, newlines, NaN, ±Inf — writes the text exposition
+// and re-parses it with a strict line parser. The exposition contract:
+// every line is a well-formed comment or sample, exactly one # TYPE per
+// family, samples only for announced families, label values unescape
+// cleanly, and every sample value round-trips strconv.ParseFloat.
+func FuzzPrometheusWriter(f *testing.F) {
+	f.Add("requests_total", "plain help", "outcome", "ok", 1.5, int64(1500))
+	f.Add("x", "back\\slash and \"quotes\"", "label", "line\nbreak\\\"", math.NaN(), int64(-5))
+	f.Add("a_b:c", "", "le", "}{\",=", math.Inf(1), int64(1<<40))
+	f.Add("_", "\n\n", "_", "", math.Inf(-1), int64(0))
+	f.Fuzz(func(t *testing.T, name, help, labelName, labelValue string, g float64, obs int64) {
+		// Metric and label names have a fixed grammar the registry
+		// enforces by panicking; the writer's job only starts at valid
+		// names, so invalid fuzz names fall back to fixed ones (help and
+		// label values stay fully attacker-controlled).
+		if !validName(name) {
+			name = "fuzz_metric"
+		}
+		if !validName(labelName) {
+			labelName = "fuzz_label"
+		}
+		reg := NewRegistry()
+		cv := reg.CounterVec(name+"_total", help, labelName)
+		cv.With(labelValue).Inc()
+		cv.With(labelValue + "'").Inc()
+		reg.GaugeFunc(name+"_gauge", help, func() float64 { return g })
+		h := reg.Histogram(name+"_seconds", help)
+		h.Observe(time.Duration(obs))
+		h.Observe(time.Millisecond)
+
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		checkExposition(t, buf.String())
+	})
+}
+
+// checkExposition is the re-parser: it accepts exactly the v0.0.4 text
+// format subset the writer claims to emit and fails the test on any
+// line that does not fit.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := make(map[string]string) // family name -> kind
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, ok := strings.Cut(line[len("# HELP "):], " ")
+			if !ok || !validName(name) {
+				t.Errorf("bad HELP line %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 || !validName(fields[0]) {
+				t.Errorf("bad TYPE line %q", line)
+				continue
+			}
+			name, kind := fields[0], fields[1]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("unknown kind in %q", line)
+			}
+			if _, dup := typed[name]; dup {
+				t.Errorf("second TYPE for family %q", name)
+			}
+			typed[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unknown comment line %q", line)
+		default:
+			checkSample(t, typed, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("scan: %v", err)
+	}
+}
+
+// checkSample validates one sample line against the families announced
+// so far.
+func checkSample(t *testing.T, typed map[string]string, line string) {
+	t.Helper()
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		t.Errorf("sample %q has no value", line)
+		return
+	}
+	name := line[:nameEnd]
+	if !validName(name) {
+		t.Errorf("sample %q: invalid metric name", line)
+		return
+	}
+	if _, ok := typed[name]; !ok {
+		base, found := "", false
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+				if typed[base] == "histogram" {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("sample %q: no preceding # TYPE for %q", line, name)
+			return
+		}
+	}
+	rest := line[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		var ok bool
+		rest, ok = consumeLabels(t, line, rest[1:])
+		if !ok {
+			return
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Errorf("sample %q: missing space before value", line)
+		return
+	}
+	value := rest[1:]
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		t.Errorf("sample %q: value %q does not parse: %v", line, value, err)
+	}
+}
+
+// consumeLabels parses `k="v",...}` (the opening brace already
+// consumed), returning what follows the closing brace. Escapes inside
+// values follow the exposition rules: \\, \" and \n only.
+func consumeLabels(t *testing.T, line, s string) (string, bool) {
+	t.Helper()
+	for {
+		eq := strings.Index(s, "=")
+		if eq < 0 || !validName(s[:eq]) {
+			t.Errorf("sample %q: bad label name", line)
+			return "", false
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			t.Errorf("sample %q: label value not quoted", line)
+			return "", false
+		}
+		s = s[1:]
+		for {
+			i := strings.IndexAny(s, `\"`)
+			if i < 0 {
+				t.Errorf("sample %q: unterminated label value", line)
+				return "", false
+			}
+			if s[i] == '"' {
+				s = s[i+1:]
+				break
+			}
+			// Escape sequence: exactly \\, \" or \n.
+			if i+1 >= len(s) || (s[i+1] != '\\' && s[i+1] != '"' && s[i+1] != 'n') {
+				t.Errorf("sample %q: bad escape in label value", line)
+				return "", false
+			}
+			s = s[i+2:]
+		}
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return s[1:], true
+		default:
+			t.Errorf("sample %q: expected , or } after label value", line)
+			return "", false
+		}
+	}
+}
