@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint chaos fuzz-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare lint chaos fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime 1s \
 		./internal/telemetry ./internal/gateway
+
+# bench-compare re-measures the perf-critical benchmark suites (event
+# kernel, samplers, simulation engines, gateway hot path), records them
+# in BENCH_PR4.json, and fails if any benchmark regressed against the
+# committed BENCH_PR4_BASELINE.json — more than 15% ns/op growth, or
+# any allocs/op growth at all.
+bench-compare:
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -benchtime 1s \
+		./internal/des ./internal/dist ./internal/sim ./internal/gateway
+	$(GO) run ./cmd/benchjson compare BENCH_PR4_BASELINE.json BENCH_PR4.json
 
 # The gateway chaos suite under the race detector across the same fault
 # seeds CI sweeps. Override with CHAOS_SEEDS="42" for a single seed.

@@ -11,6 +11,18 @@
 // running the benchmarks by hand would see. The GOMAXPROCS suffix
 // (-8 in BenchmarkFoo-8) is stripped so recorded names compare across
 // machines; with -count > 1, runs of the same benchmark are averaged.
+//
+// The compare subcommand diffs two recordings and fails on regression —
+// the CI gate that keeps the zero-allocation kernel zero-allocation:
+//
+//	benchjson compare -max-ns-regress 15 old.json new.json
+//
+// A benchmark regresses when its ns/op grows by more than the threshold
+// percentage (default 15, absorbing runner noise) or its allocs/op
+// grows AT ALL — allocation counts are deterministic, so any increase
+// is a real regression, never noise. Benchmarks present in only one
+// file are reported but never fail the gate, so adding or retiring
+// benchmarks does not require touching the baseline in the same change.
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,6 +58,9 @@ type result struct {
 // `go test` output is echoed to stderr so CI logs keep the full
 // context; only the JSON goes to -out (or to out when -out is empty).
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], out)
+	}
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -97,6 +113,102 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(results), *outPath)
 	return nil
+}
+
+// regression describes one failed gate check.
+type regression struct {
+	name   string
+	reason string
+}
+
+// runCompare implements `benchjson compare old.json new.json`.
+func runCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(out)
+	maxNsRegress := fs.Float64("max-ns-regress", 15,
+		"maximum tolerated ns/op growth in percent; beyond it the gate fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs exactly two files: old.json new.json")
+	}
+	old, err := loadResults(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	new_, err := loadResults(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []regression
+	fmt.Fprintf(out, "%-55s %12s %12s %8s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns%", "old alloc", "new alloc")
+	for _, name := range names {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			fmt.Fprintf(out, "%-55s %12.1f %12s %8s %9.0f %9s  (gone: not in new recording)\n",
+				name, o.NsPerOp, "-", "-", o.AllocsPerOp, "-")
+			continue
+		}
+		deltaPct := 0.0
+		if o.NsPerOp > 0 {
+			deltaPct = 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		mark := ""
+		if deltaPct > *maxNsRegress {
+			mark = "  REGRESSION: ns/op"
+			regressions = append(regressions, regression{name,
+				fmt.Sprintf("ns/op %+.1f%% exceeds %.1f%% threshold", deltaPct, *maxNsRegress)})
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			mark += "  REGRESSION: allocs/op"
+			regressions = append(regressions, regression{name,
+				fmt.Sprintf("allocs/op %.0f -> %.0f (any increase fails)", o.AllocsPerOp, n.AllocsPerOp)})
+		}
+		fmt.Fprintf(out, "%-55s %12.1f %12.1f %+7.1f%% %9.0f %9.0f%s\n",
+			name, o.NsPerOp, n.NsPerOp, deltaPct, o.AllocsPerOp, n.AllocsPerOp, mark)
+	}
+	for name := range new_ {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(out, "%-55s %12s %12.1f %8s %9s %9.0f  (new: no baseline)\n",
+				name, "-", new_[name].NsPerOp, "-", "-", new_[name].AllocsPerOp)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "\n%d regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintf(out, "  %s: %s\n", r.name, r.reason)
+		}
+		return fmt.Errorf("benchmark regression gate failed (%d regression(s))", len(regressions))
+	}
+	fmt.Fprintf(out, "\nno regressions (%d benchmarks compared, ns/op threshold %.1f%%)\n",
+		len(names), *maxNsRegress)
+	return nil
+}
+
+// loadResults reads a benchjson recording.
+func loadResults(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return m, nil
 }
 
 // gomaxprocsSuffix is the -N the testing package appends to benchmark

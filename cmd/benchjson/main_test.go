@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +59,97 @@ func TestRunFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-count", "0"}, &buf); err == nil {
 		t.Error("expected error for -count 0")
+	}
+}
+
+// writeRecording drops a benchjson JSON file into a temp dir.
+func writeRecording(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "BenchmarkKernel": {"ns_per_op": 100, "bytes_per_op": 48, "allocs_per_op": 1},
+  "BenchmarkSampler": {"ns_per_op": 50, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkRetired": {"ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 0}
+}`
+
+func TestCompareCleanPass(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecording(t, dir, "old.json", baselineJSON)
+	new_ := writeRecording(t, dir, "new.json", `{
+  "BenchmarkKernel": {"ns_per_op": 60, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkSampler": {"ns_per_op": 55, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkAdded": {"ns_per_op": 7, "bytes_per_op": 0, "allocs_per_op": 0}
+}`)
+	var out bytes.Buffer
+	if err := run([]string{"compare", old, new_}, &out); err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"no regressions", "gone: not in new recording", "new: no baseline"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecording(t, dir, "old.json", baselineJSON)
+	new_ := writeRecording(t, dir, "new.json", `{
+  "BenchmarkKernel": {"ns_per_op": 120, "bytes_per_op": 48, "allocs_per_op": 1},
+  "BenchmarkSampler": {"ns_per_op": 50, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkRetired": {"ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 0}
+}`)
+	var out bytes.Buffer
+	err := run([]string{"compare", old, new_}, &out)
+	if err == nil {
+		t.Fatalf("20%% ns/op regression passed the 15%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: ns/op") {
+		t.Errorf("output does not mark the ns/op regression:\n%s", out.String())
+	}
+}
+
+func TestCompareNsThresholdIsTunable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecording(t, dir, "old.json", `{"BenchmarkKernel": {"ns_per_op": 100, "bytes_per_op": 0, "allocs_per_op": 0}}`)
+	new_ := writeRecording(t, dir, "new.json", `{"BenchmarkKernel": {"ns_per_op": 120, "bytes_per_op": 0, "allocs_per_op": 0}}`)
+	var out bytes.Buffer
+	if err := run([]string{"compare", "-max-ns-regress", "25", old, new_}, &out); err != nil {
+		t.Fatalf("20%% growth should pass a 25%% threshold: %v", err)
+	}
+}
+
+func TestCompareFailsOnAnyAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecording(t, dir, "old.json", `{"BenchmarkKernel": {"ns_per_op": 100, "bytes_per_op": 0, "allocs_per_op": 0}}`)
+	// ns/op IMPROVED, but one allocation appeared: still a failure.
+	new_ := writeRecording(t, dir, "new.json", `{"BenchmarkKernel": {"ns_per_op": 80, "bytes_per_op": 16, "allocs_per_op": 1}}`)
+	var out bytes.Buffer
+	err := run([]string{"compare", old, new_}, &out)
+	if err == nil {
+		t.Fatalf("alloc regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: allocs/op") {
+		t.Errorf("output does not mark the allocs/op regression:\n%s", out.String())
+	}
+}
+
+func TestCompareArgValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"compare", "only-one.json"}, &out); err == nil {
+		t.Error("expected error for missing second file")
+	}
+	if err := run([]string{"compare", "a.json", "b.json", "c.json"}, &out); err == nil {
+		t.Error("expected error for three files")
+	}
+	if err := run([]string{"compare", "/nonexistent/a.json", "/nonexistent/b.json"}, &out); err == nil {
+		t.Error("expected error for unreadable files")
 	}
 }

@@ -22,8 +22,21 @@ type Population struct {
 // prefix, modelling an enterprise network (used by the enterprise
 // example and the preference-scan ablation).
 func NewPopulation(v int, clusterPrefix *Prefix, src rng.Source) (*Population, error) {
+	p := &Population{}
+	if err := p.Repopulate(v, clusterPrefix, src); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Repopulate redraws the population in place, reusing the address slice
+// and lookup map of the previous draw. The RNG draw sequence is
+// identical to NewPopulation's — membership tests against the map never
+// consume randomness — so replication loops that recycle one Population
+// per worker produce bit-identical simulations.
+func (p *Population) Repopulate(v int, clusterPrefix *Prefix, src rng.Source) error {
 	if v < 1 {
-		return nil, fmt.Errorf("addr: population size %d, must be >= 1", v)
+		return fmt.Errorf("addr: population size %d, must be >= 1", v)
 	}
 	var base IP
 	var size uint64 = SpaceSize
@@ -31,16 +44,22 @@ func NewPopulation(v int, clusterPrefix *Prefix, src rng.Source) (*Population, e
 		base = clusterPrefix.Net
 		size = clusterPrefix.Size()
 		if uint64(v) > size {
-			return nil, fmt.Errorf("addr: population %d exceeds prefix %v capacity %d",
+			return fmt.Errorf("addr: population %d exceeds prefix %v capacity %d",
 				v, clusterPrefix, size)
 		}
 	}
+	if cap(p.addrs) < v {
+		p.addrs = make([]IP, 0, v)
+	} else {
+		p.addrs = p.addrs[:0]
+	}
+	if p.byAddr == nil {
+		p.byAddr = make(map[IP]int, v)
+	} else {
+		clear(p.byAddr)
+	}
 	// For v << size, rejection sampling of distinct addresses is fast;
 	// density in the paper's scenarios is <= 1e-4.
-	p := &Population{
-		addrs:  make([]IP, 0, v),
-		byAddr: make(map[IP]int, v),
-	}
 	for len(p.addrs) < v {
 		ip := base + IP(rng.Uint64n(src, size))
 		if _, dup := p.byAddr[ip]; dup {
@@ -49,7 +68,7 @@ func NewPopulation(v int, clusterPrefix *Prefix, src rng.Source) (*Population, e
 		p.byAddr[ip] = len(p.addrs)
 		p.addrs = append(p.addrs, ip)
 	}
-	return p, nil
+	return nil
 }
 
 // Size returns the number of vulnerable hosts.

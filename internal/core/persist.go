@@ -64,10 +64,7 @@ func (l *Limiter) MarshalState() ([]byte, error) {
 		Hosts:         make([]limiterHostJS, 0, len(l.hosts)),
 	}
 	for src, h := range l.hosts {
-		dsts := make([]uint32, 0, len(h.distinct))
-		for d := range h.distinct {
-			dsts = append(dsts, d)
-		}
+		dsts := h.destinations(make([]uint32, 0, h.count()))
 		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 		st.Hosts = append(st.Hosts, limiterHostJS{
 			Src:      src,
@@ -117,12 +114,14 @@ func RestoreLimiter(data []byte) (*Limiter, error) {
 				h.Src, len(h.Distinct), st.M)
 		}
 		hs := &hostState{
-			distinct: make(map[uint32]struct{}, len(h.Distinct)),
-			removed:  h.Removed,
-			flagged:  h.Flagged,
+			small:   make([]uint32, 0, min(len(h.Distinct), smallSetMax)),
+			removed: h.Removed,
+			flagged: h.Flagged,
 		}
 		for _, d := range h.Distinct {
-			hs.distinct[d] = struct{}{}
+			if !hs.seen(d) {
+				hs.add(d)
+			}
 		}
 		if _, dup := l.hosts[h.Src]; dup {
 			return nil, fmt.Errorf("core: limiter snapshot duplicates host %d", h.Src)

@@ -73,11 +73,78 @@ func (c LimiterConfig) Validate() error {
 	return nil
 }
 
-// hostState tracks one host within the current containment cycle.
+// smallSetMax is the distinct-destination count up to which a host's
+// set is stored as a linearly scanned slice. Legitimate hosts sit far
+// below any sensible M (the paper's Fig. 6 LBL hosts peak well under
+// one hundred distinct destinations per month), so almost every host
+// stays in the slice regime: one cache line beats a map both in lookup
+// time and in per-insert allocations on the simulator's hot path.
+const smallSetMax = 64
+
+// hostState tracks one host within the current containment cycle. The
+// distinct-destination set lives in small until it outgrows smallSetMax,
+// then spills to the map; exactly one of the two representations is
+// active at a time.
 type hostState struct {
-	distinct map[uint32]struct{} // destinations contacted this cycle
+	small    []uint32            // destinations while count <= smallSetMax
+	distinct map[uint32]struct{} // spill storage, nil until small overflows
 	removed  bool                // hit M and awaits heavy-duty check
 	flagged  bool                // crossed f·M this cycle
+}
+
+// seen reports whether dst is in the host's distinct set.
+func (h *hostState) seen(dst uint32) bool {
+	for _, d := range h.small {
+		if d == dst {
+			return true
+		}
+	}
+	if h.distinct != nil {
+		_, ok := h.distinct[dst]
+		return ok
+	}
+	return false
+}
+
+// add inserts a destination known to be absent from the set.
+func (h *hostState) add(dst uint32) {
+	if h.distinct == nil {
+		if len(h.small) < smallSetMax {
+			h.small = append(h.small, dst)
+			return
+		}
+		h.distinct = make(map[uint32]struct{}, 2*smallSetMax)
+		for _, d := range h.small {
+			h.distinct[d] = struct{}{}
+		}
+		h.small = nil
+	}
+	h.distinct[dst] = struct{}{}
+}
+
+// count returns the number of distinct destinations this cycle.
+func (h *hostState) count() int {
+	if h.distinct != nil {
+		return len(h.distinct)
+	}
+	return len(h.small)
+}
+
+// destinations appends the set's members to dst and returns it.
+func (h *hostState) destinations(dst []uint32) []uint32 {
+	dst = append(dst, h.small...)
+	for d := range h.distinct {
+		dst = append(dst, d)
+	}
+	return dst
+}
+
+// reset empties the set and clears the removal and flag marks.
+func (h *hostState) reset() {
+	h.small = h.small[:0]
+	h.distinct = nil
+	h.removed = false
+	h.flagged = false
 }
 
 // Limiter is the runtime containment engine: it watches (source,
@@ -138,27 +205,27 @@ func (l *Limiter) Observe(src, dst uint32, t time.Time) Decision {
 
 	h := l.hosts[src]
 	if h == nil {
-		h = &hostState{distinct: make(map[uint32]struct{})}
+		h = &hostState{small: make([]uint32, 0, min(l.cfg.M, smallSetMax))}
 		l.hosts[src] = h
 	}
 	if h.removed {
 		l.totalDenied++
 		return Deny
 	}
-	if _, seen := h.distinct[dst]; seen {
+	if h.seen(dst) {
 		return Allow
 	}
-	if len(h.distinct) >= l.cfg.M {
+	if h.count() >= l.cfg.M {
 		// Budget exhausted: the new-destination attempt removes the host.
 		h.removed = true
 		l.totalRemovals++
 		l.totalDenied++
 		return Deny
 	}
-	h.distinct[dst] = struct{}{}
+	h.add(dst)
 
 	if f := l.cfg.CheckFraction; f > 0 && !h.flagged &&
-		float64(len(h.distinct)) >= f*float64(l.cfg.M) {
+		float64(h.count()) >= f*float64(l.cfg.M) {
 		h.flagged = true
 		l.totalFlags++
 		return AllowAndCheck
@@ -192,9 +259,7 @@ func (l *Limiter) Reinstate(src uint32) bool {
 	if h == nil || !h.removed {
 		return false
 	}
-	h.removed = false
-	h.flagged = false
-	h.distinct = make(map[uint32]struct{})
+	h.reset()
 	return true
 }
 
@@ -215,7 +280,7 @@ func (l *Limiter) DistinctCount(src uint32) int {
 	if h == nil {
 		return 0
 	}
-	return len(h.distinct)
+	return h.count()
 }
 
 // CycleIndex returns the zero-based index of the current containment
@@ -274,7 +339,7 @@ func (l *Limiter) TopCounts(n int) []int {
 	l.mu.Lock()
 	counts := make([]int, 0, len(l.hosts))
 	for _, h := range l.hosts {
-		counts = append(counts, len(h.distinct))
+		counts = append(counts, h.count())
 	}
 	l.mu.Unlock()
 	sort.Sort(sort.Reverse(sort.IntSlice(counts)))

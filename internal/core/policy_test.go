@@ -265,3 +265,70 @@ func TestQuickLimiterDenyOnlyBeyondM(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLimiterSmallSetSpill drives one host far past smallSetMax so the
+// distinct set crosses from the linear-scan slice into the spill map,
+// and checks that membership, counting, the M boundary, and reinstation
+// all behave identically on both sides of the transition.
+func TestLimiterSmallSetSpill(t *testing.T) {
+	m := 3 * smallSetMax
+	l := newTestLimiter(t, LimiterConfig{M: m, Cycle: time.Hour})
+
+	for d := 0; d < m; d++ {
+		if dec := l.Observe(1, uint32(d), t0); dec != Allow {
+			t.Fatalf("distinct destination %d: decision %v, want allow", d, dec)
+		}
+		if got := l.DistinctCount(1); got != d+1 {
+			t.Fatalf("after %d destinations: count %d", d+1, got)
+		}
+	}
+	// Repeats stay free in both representations.
+	for _, d := range []uint32{0, smallSetMax - 1, smallSetMax, uint32(m - 1)} {
+		if dec := l.Observe(1, d, t0); dec != Allow {
+			t.Fatalf("repeat contact to %d: decision %v, want allow", d, dec)
+		}
+	}
+	if got := l.DistinctCount(1); got != m {
+		t.Fatalf("count after repeats = %d, want %d", got, m)
+	}
+	if dec := l.Observe(1, uint32(m), t0); dec != Deny {
+		t.Fatalf("destination m+1: decision %v, want deny", dec)
+	}
+	if !l.Reinstate(1) {
+		t.Fatal("reinstate failed")
+	}
+	if got := l.DistinctCount(1); got != 0 {
+		t.Fatalf("count after reinstate = %d, want 0", got)
+	}
+	if dec := l.Observe(1, 7, t0); dec != Allow {
+		t.Fatalf("post-reinstate contact: decision %v, want allow", dec)
+	}
+}
+
+// TestLimiterSnapshotRoundTripSpilled checks that a spilled host's set
+// survives MarshalState/RestoreLimiter byte-for-byte.
+func TestLimiterSnapshotRoundTripSpilled(t *testing.T) {
+	m := 2 * smallSetMax
+	l := newTestLimiter(t, LimiterConfig{M: m, Cycle: time.Hour})
+	for d := 0; d < m; d++ {
+		l.Observe(1, uint32(d), t0)
+	}
+	data, err := l.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreLimiter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.DistinctCount(1); got != m {
+		t.Fatalf("restored count = %d, want %d", got, m)
+	}
+	data2, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("snapshot not stable across restore")
+	}
+}

@@ -8,10 +8,17 @@
 // events at the same virtual instant fire in the order they were
 // scheduled, so a simulation is a pure function of its inputs and RNG
 // seed.
+//
+// The kernel is engineered for zero steady-state allocation (DESIGN.md
+// §9): a hand-rolled index-tracked binary heap over timer nodes (no
+// container/heap, no interface boxing), a free-list node pool with a
+// reuse-generation counter so stale Timer handles are always safe,
+// lazy deletion of canceled timers at pop time, and an argument-passing
+// handler form (ScheduleArg) that lets hot paths schedule events
+// without allocating a closure per event.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -23,66 +30,61 @@ import (
 // simulator's single logical thread; it may schedule further events.
 type Handler func()
 
-// Timer identifies a scheduled event and allows cancellation.
-type Timer struct {
+// ArgHandler is the allocation-free handler form: one function value
+// (typically created once per simulation) shared by many events, each
+// carrying its own integer argument — a host index in the worm
+// simulator. Scheduling with ScheduleArg avoids the per-event closure
+// allocation the Handler form requires to capture state.
+type ArgHandler func(arg int)
+
+// timer is a pooled event node. Nodes are owned by the Simulator and
+// recycled through a free list; user code only ever holds Timer
+// handles, which carry the generation stamp that makes recycling safe.
+type timer struct {
 	at       time.Duration
 	seq      uint64
-	handler  Handler
+	fn       Handler    // closure form (nil when argFn is set)
+	argFn    ArgHandler // argument form
+	arg      int
+	gen      uint32 // incremented on every recycle; stale handles mismatch
+	index    int32  // position in the heap, -1 once popped
 	canceled bool
-	index    int // position in the heap, -1 once popped
 }
 
-// At returns the virtual time the timer is scheduled to fire.
-func (t *Timer) At() time.Duration { return t.at }
+// Timer identifies a scheduled event and allows cancellation. It is a
+// value handle onto a pooled node: holding one after the event fired
+// (or was canceled) is always safe — the node's reuse-generation
+// counter makes operations on stale handles inert no-ops, even after
+// the node has been recycled for a different event.
+type Timer struct {
+	n   *timer
+	gen uint32
+	at  time.Duration
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled timer is a no-op; it reports whether the call
-// actually canceled a pending event.
-func (t *Timer) Cancel() bool {
-	if t.canceled || t.index < 0 {
+// At returns the virtual time the timer was scheduled to fire.
+func (t Timer) At() time.Duration { return t.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled or zero-value timer is a no-op; it reports whether
+// the call actually canceled a pending event. The canceled node stays
+// in the heap and is discarded lazily when it reaches the top (lazy
+// deletion), so Cancel is O(1).
+func (t Timer) Cancel() bool {
+	n := t.n
+	if n == nil || n.gen != t.gen || n.canceled {
 		return false
 	}
-	t.canceled = true
-	t.handler = nil // release references early
+	n.canceled = true
+	n.fn, n.argFn = nil, nil // release references early
 	return true
 }
 
-// eventHeap orders timers by (at, seq).
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	t, ok := x.(*Timer)
-	if !ok {
-		panic("des: eventHeap.Push received a non-Timer")
-	}
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
+// timerBlockSize is the node-pool slab size: when the free list runs
+// dry, nodes are carved from a fresh slab of this many, so a simulation
+// scheduling E events performs O(E / timerBlockSize) pool allocations
+// instead of E.
+const timerBlockSize = 256
 
 // Simulator is the event loop. The zero value is not usable; construct
 // with New. A Simulator is not safe for concurrent use: the entire
@@ -90,7 +92,9 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	heap    []*timer
+	free    []*timer // recycled nodes, ready for reuse
+	slab    []timer  // current allocation block, carved node by node
 	fired   uint64
 	stopped bool
 	metrics *kernelMetrics
@@ -108,20 +112,45 @@ type kernelMetrics struct {
 // enables per-event updates: des_events_executed_total counts fired
 // events and des_queue_depth tracks the pending-event count. Without
 // Instrument the kernel touches no instruments at all, so simulations
-// that don't scrape pay only a nil check per event.
+// that don't scrape pay only a nil check per event. A nil reg removes
+// previously installed instruments (for Simulators reused across runs
+// with different telemetry wiring).
 func (s *Simulator) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		s.metrics = nil
+		return
+	}
 	s.metrics = &kernelMetrics{
 		events: reg.Counter("des_events_executed_total",
 			"Discrete events executed by the simulation kernel."),
 		depth: reg.Gauge("des_queue_depth",
 			"Events pending in the kernel's priority queue."),
 	}
-	s.metrics.depth.Set(float64(len(s.events)))
+	s.metrics.depth.Set(float64(len(s.heap)))
 }
 
 // New returns a simulator with the clock at zero.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// Reset returns the simulator to its initial state — clock at zero, no
+// pending events — while keeping the node pool and heap capacity, so a
+// Monte-Carlo replication loop can reuse one Simulator per worker with
+// zero per-replication allocation. Pending events are discarded (their
+// Timer handles turn stale).
+func (s *Simulator) Reset() {
+	for _, t := range s.heap {
+		s.recycle(t)
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+	if m := s.metrics; m != nil {
+		m.depth.Set(0)
+	}
 }
 
 // Now returns the current virtual time.
@@ -132,12 +161,39 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events waiting in the queue (including
 // canceled ones not yet discarded).
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// alloc hands out a timer node: from the free list when one is
+// available, otherwise carved from the current slab (refilled in
+// timerBlockSize batches).
+func (s *Simulator) alloc() *timer {
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free = s.free[:n-1]
+		return t
+	}
+	if len(s.slab) == 0 {
+		s.slab = make([]timer, timerBlockSize)
+	}
+	t := &s.slab[0]
+	s.slab = s.slab[1:]
+	return t
+}
+
+// recycle retires a node: bump its generation (staling every
+// outstanding handle), drop handler references, and push it onto the
+// free list.
+func (s *Simulator) recycle(t *timer) {
+	t.gen++
+	t.index = -1
+	t.fn, t.argFn = nil, nil
+	s.free = append(s.free, t)
+}
 
 // Schedule enqueues fn to run after delay of virtual time. A negative
 // delay is a programming error and panics; a zero delay fires at the
 // current instant, after already-queued events at that instant.
-func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Timer {
+func (s *Simulator) Schedule(delay time.Duration, fn Handler) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("des: negative delay %v", delay))
 	}
@@ -146,17 +202,123 @@ func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Timer {
 
 // ScheduleAt enqueues fn to run at absolute virtual time at, which must
 // not be in the past.
-func (s *Simulator) ScheduleAt(at time.Duration, fn Handler) *Timer {
-	if at < s.now {
-		panic(fmt.Sprintf("des: schedule at %v is before now %v", at, s.now))
-	}
+func (s *Simulator) ScheduleAt(at time.Duration, fn Handler) Timer {
 	if fn == nil {
 		panic("des: nil handler")
 	}
-	t := &Timer{at: at, seq: s.seq, handler: fn}
+	return s.schedule(at, fn, nil, 0)
+}
+
+// ScheduleArg enqueues fn(arg) to run after delay of virtual time. The
+// function value is typically shared across all events of a simulation
+// (a method value stored once), so scheduling allocates nothing beyond
+// the pooled node.
+func (s *Simulator) ScheduleArg(delay time.Duration, fn ArgHandler, arg int) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.ScheduleArgAt(s.now+delay, fn, arg)
+}
+
+// ScheduleArgAt enqueues fn(arg) to run at absolute virtual time at,
+// which must not be in the past.
+func (s *Simulator) ScheduleArgAt(at time.Duration, fn ArgHandler, arg int) Timer {
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	return s.schedule(at, nil, fn, arg)
+}
+
+// schedule is the shared enqueue path.
+func (s *Simulator) schedule(at time.Duration, fn Handler, argFn ArgHandler, arg int) Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v is before now %v", at, s.now))
+	}
+	t := s.alloc()
+	t.at = at
+	t.seq = s.seq
+	t.fn = fn
+	t.argFn = argFn
+	t.arg = arg
+	t.canceled = false
 	s.seq++
-	heap.Push(&s.events, t)
-	return t
+	s.push(t)
+	return Timer{n: t, gen: t.gen, at: at}
+}
+
+// less orders nodes by (at, seq): virtual time first, scheduling order
+// as the deterministic tie-break.
+func less(a, b *timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends t and restores the heap invariant (sift-up).
+func (s *Simulator) push(t *timer) {
+	i := int32(len(s.heap))
+	t.index = i
+	s.heap = append(s.heap, t)
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(t, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heap[i].index = i
+		i = parent
+	}
+	s.heap[i] = t
+	t.index = i
+}
+
+// popRoot removes and returns the heap's minimum node (sift-down).
+func (s *Simulator) popRoot() *timer {
+	root := s.heap[0]
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if n > 0 {
+		// Re-seat the last node from the root.
+		i := int32(0)
+		for {
+			left := 2*i + 1
+			if int(left) >= n {
+				break
+			}
+			child := left
+			if right := left + 1; int(right) < n && less(s.heap[right], s.heap[left]) {
+				child = right
+			}
+			if !less(s.heap[child], last) {
+				break
+			}
+			s.heap[i] = s.heap[child]
+			s.heap[i].index = i
+			i = child
+		}
+		s.heap[i] = last
+		last.index = i
+	}
+	root.index = -1
+	return root
+}
+
+// next pops nodes until it finds a live one, recycling canceled nodes
+// on the way (this is where lazy deletion pays its debt). Returns nil
+// when the queue holds no live events.
+func (s *Simulator) next() *timer {
+	for len(s.heap) > 0 {
+		t := s.popRoot()
+		if t.canceled {
+			s.recycle(t)
+			continue
+		}
+		return t
+	}
+	return nil
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -166,28 +328,30 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Step fires the single earliest pending event (skipping canceled ones)
 // and advances the clock to it. It reports whether an event fired.
 func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		t, ok := heap.Pop(&s.events).(*Timer)
-		if !ok {
-			panic("des: heap returned a non-Timer")
-		}
-		if t.canceled {
-			continue
-		}
-		s.now = t.at
-		s.fired++
-		h := t.handler
-		t.handler = nil
-		h()
-		if m := s.metrics; m != nil {
-			// After the handler, so the depth reflects events it
-			// scheduled.
-			m.events.Inc()
-			m.depth.Set(float64(len(s.events)))
-		}
-		return true
+	t := s.next()
+	if t == nil {
+		return false
 	}
-	return false
+	s.now = t.at
+	s.fired++
+	// Copy the handler out and recycle before invoking: the node's
+	// generation is already bumped, so a Cancel from inside the handler
+	// (cancel-after-fire) is a no-op, and the handler is free to
+	// schedule new events that reuse the node.
+	fn, argFn, arg := t.fn, t.argFn, t.arg
+	s.recycle(t)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	if m := s.metrics; m != nil {
+		// After the handler, so the depth reflects events it
+		// scheduled.
+		m.events.Inc()
+		m.depth.Set(float64(len(s.heap)))
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -214,17 +378,15 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 	}
 }
 
-// peek returns the timestamp of the earliest non-canceled event.
+// peek returns the timestamp of the earliest live event, discarding
+// canceled nodes that surface at the top.
 func (s *Simulator) peek() (time.Duration, bool) {
-	for len(s.events) > 0 {
-		t := s.events[0]
+	for len(s.heap) > 0 {
+		t := s.heap[0]
 		if !t.canceled {
 			return t.at, true
 		}
-		popped, ok := heap.Pop(&s.events).(*Timer)
-		if !ok || popped != t {
-			panic("des: heap invariant violated while draining canceled events")
-		}
+		s.recycle(s.popRoot())
 	}
 	return 0, false
 }

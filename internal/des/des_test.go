@@ -234,6 +234,225 @@ func TestManyEventsHeapStress(t *testing.T) {
 	}
 }
 
+func TestScheduleArgOrderAndValues(t *testing.T) {
+	s := New()
+	var got []int
+	record := func(arg int) { got = append(got, arg) }
+	s.ScheduleArg(3*time.Second, record, 3)
+	s.ScheduleArg(1*time.Second, record, 1)
+	s.ScheduleArg(2*time.Second, record, 2)
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleArgInterleavesWithClosures(t *testing.T) {
+	// Mixed forms share one (time, seq) order.
+	s := New()
+	var got []string
+	s.Schedule(time.Second, func() { got = append(got, "closure") })
+	s.ScheduleArg(time.Second, func(int) { got = append(got, "arg") }, 0)
+	s.Run()
+	if len(got) != 2 || got[0] != "closure" || got[1] != "arg" {
+		t.Fatalf("order = %v, want [closure arg]", got)
+	}
+}
+
+func TestScheduleArgNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().ScheduleArg(time.Second, nil, 0)
+}
+
+func TestCancelAfterFireOnRecycledNodeIsInert(t *testing.T) {
+	// The reuse-generation contract: after a timer fires, its node goes
+	// back to the pool and may be handed to a brand-new event. A Cancel
+	// through the stale handle must not touch the new event.
+	s := New()
+	stale := s.Schedule(time.Second, func() {})
+	s.Run()
+
+	// The pool now holds exactly the fired node; the next Schedule
+	// reuses it.
+	fired := false
+	fresh := s.Schedule(time.Second, func() { fired = true })
+	if stale.Cancel() {
+		t.Error("stale handle canceled something")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed the recycled node's new event")
+	}
+	_ = fresh
+}
+
+func TestCancelInsideOwnHandlerIsNoop(t *testing.T) {
+	// Cancel-after-fire from within the handler itself: by the time the
+	// handler runs, the node's generation has advanced, so the handle is
+	// stale.
+	s := New()
+	var timer Timer
+	canceled := true
+	timer = s.Schedule(time.Second, func() {
+		canceled = timer.Cancel()
+	})
+	s.Run()
+	if canceled {
+		t.Error("Cancel inside own handler reported true")
+	}
+}
+
+func TestDoubleCancelAcrossReuse(t *testing.T) {
+	s := New()
+	timer := s.Schedule(time.Second, func() {})
+	if !timer.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if timer.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	// Drain: the canceled node is lazily discarded and recycled.
+	s.Run()
+	if s.Fired() != 0 {
+		t.Fatalf("fired = %d, want 0", s.Fired())
+	}
+	// The recycled node backs a new event; the old handle stays inert.
+	fired := false
+	s.Schedule(time.Second, func() { fired = true })
+	if timer.Cancel() {
+		t.Error("stale handle canceled the recycled node's event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestZeroTimerCancelIsSafe(t *testing.T) {
+	var timer Timer
+	if timer.Cancel() {
+		t.Error("zero-value timer canceled something")
+	}
+}
+
+func TestLazyDeletionRecyclesCanceledNodes(t *testing.T) {
+	// Canceled timers stay queued (Pending counts them) until they
+	// surface at the heap top, then get recycled instead of fired.
+	s := New()
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	for _, tm := range timers[:50] {
+		tm.Cancel()
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100 (lazy deletion keeps canceled nodes queued)", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 50 {
+		t.Fatalf("fired = %d, want 50", s.Fired())
+	}
+}
+
+func TestResetReusesPool(t *testing.T) {
+	s := New()
+	pendingTimer := s.Schedule(time.Hour, func() {})
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	s.Stop()
+
+	s.Reset()
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v fired=%d pending=%d, want zeros",
+			s.Now(), s.Fired(), s.Pending())
+	}
+	if pendingTimer.Cancel() {
+		t.Error("handle from before Reset canceled something")
+	}
+	// The simulator is fully usable again and replays identically.
+	var got []int
+	s.ScheduleArg(2*time.Second, func(a int) { got = append(got, a) }, 2)
+	s.ScheduleArg(1*time.Second, func(a int) { got = append(got, a) }, 1)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("after Reset run order = %v, want [1 2]", got)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want 2s", s.Now())
+	}
+}
+
+func TestSteadyStateChurnDoesNotAllocate(t *testing.T) {
+	// The zero-allocation claim, pinned: once the pool is primed, the
+	// schedule→fire cycle with the ArgHandler form performs no heap
+	// allocation at all.
+	s := New()
+	tick := func(int) {}
+	var reschedule ArgHandler
+	reschedule = func(arg int) {
+		tick(arg)
+		s.ScheduleArg(time.Millisecond, reschedule, arg)
+	}
+	for i := 0; i < 8; i++ {
+		s.ScheduleArg(time.Duration(i)*time.Microsecond, reschedule, i)
+	}
+	// Prime the pool and the heap slab.
+	for i := 0; i < 1024; i++ {
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Step()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Step allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestHeapStressWithRandomCancels(t *testing.T) {
+	// Deterministic stress mixing schedules, cancels and fires; checks
+	// the hand-rolled heap preserves (time, seq) order throughout.
+	s := New()
+	state := uint64(99)
+	rand := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	var fired, canceled int
+	lastTime := time.Duration(-1)
+	var live []Timer
+	for i := 0; i < 5000; i++ {
+		delay := time.Duration(rand(uint64(10 * time.Second)))
+		live = append(live, s.Schedule(delay, func() {
+			if s.Now() < lastTime {
+				t.Error("clock went backwards")
+			}
+			lastTime = s.Now()
+			fired++
+		}))
+		if rand(3) == 0 {
+			victim := rand(uint64(len(live)))
+			if live[victim].Cancel() {
+				canceled++
+			}
+		}
+		if rand(7) == 0 {
+			s.Step()
+		}
+	}
+	s.Run()
+	if fired+canceled != 5000 {
+		t.Fatalf("fired %d + canceled %d = %d, want 5000", fired, canceled, fired+canceled)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()
@@ -241,5 +460,28 @@ func BenchmarkScheduleRun(b *testing.B) {
 			s.Schedule(time.Duration(j)*time.Millisecond, func() {})
 		}
 		s.Run()
+	}
+}
+
+// BenchmarkEventKernelChurn measures the kernel's steady state — the
+// workload a long simulation run presents: one simulator, a standing
+// population of self-rescheduling event chains, one schedule per fire.
+// ns/op is the cost of one event through the full schedule→heap→fire
+// cycle.
+func BenchmarkEventKernelChurn(b *testing.B) {
+	s := New()
+	const chains = 64
+	handlers := make([]Handler, chains)
+	for j := 0; j < chains; j++ {
+		j := j
+		handlers[j] = func() { s.Schedule(time.Millisecond, handlers[j]) }
+		s.Schedule(time.Duration(j)*time.Microsecond, handlers[j])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Step() {
+			b.Fatal("queue drained")
+		}
 	}
 }

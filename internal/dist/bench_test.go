@@ -71,3 +71,21 @@ func BenchmarkExtinctionByGeneration(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkBinomialSamplerWormRegime(b *testing.B) {
+	s := Binomial{N: 10000, P: 8.38e-5}.Sampler()
+	src := rng.NewPCG64(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(src)
+	}
+}
+
+func BenchmarkPoissonSampleLarge(b *testing.B) {
+	p := Poisson{Lambda: 200}
+	src := rng.NewPCG64(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Sample(src)
+	}
+}

@@ -90,17 +90,47 @@ func (b Binomial) PGF(s float64) float64 {
 // it uses the BTPE-free "first waiting time" geometric-skip method, which
 // runs in O(N·P) expected time instead of O(N); for small N it falls back
 // to direct Bernoulli summation.
+//
+// Sample recomputes the geometric-skip constant on every call; loops
+// drawing many variates from one distribution should hoist a Sampler
+// instead, which draws the identical sequence.
 func (b Binomial) Sample(src rng.Source) int {
+	return b.Sampler().Sample(src)
+}
+
+// BinomialSampler is the draw-ready form of a Binomial: the constants
+// the sampling loop needs — in the geometric-skip regime, ln(1−P) — are
+// computed once at construction instead of once per variate. The draw
+// sequence is bit-identical to Binomial.Sample's, so swapping one in is
+// a pure optimization: Monte-Carlo engines sampling millions of
+// offspring counts per replication keep the same sample paths.
+type BinomialSampler struct {
+	n    int
+	p    float64
+	logQ float64 // ln(1−P), hoisted out of the geometric-skip loop
+}
+
+// Sampler returns the draw-ready sampler for the distribution.
+func (b Binomial) Sampler() BinomialSampler {
+	s := BinomialSampler{n: b.N, p: b.P}
+	if b.P > 0 && b.P < 1 && b.N > 32 {
+		s.logQ = math.Log1p(-b.P)
+	}
+	return s
+}
+
+// Sample draws one variate; see Binomial.Sample for the method.
+func (s BinomialSampler) Sample(src rng.Source) int {
 	switch {
-	case b.P <= 0 || b.N == 0:
+	case s.p <= 0 || s.n == 0:
 		return 0
-	case b.P >= 1:
-		return b.N
-	case b.N <= 32:
+	case s.p >= 1:
+		return s.n
+	case s.n <= 32:
 		// Direct simulation: cheap and exact.
 		k := 0
-		for i := 0; i < b.N; i++ {
-			if src.Float64() < b.P {
+		for i := 0; i < s.n; i++ {
+			if src.Float64() < s.p {
 				k++
 			}
 		}
@@ -108,13 +138,12 @@ func (b Binomial) Sample(src rng.Source) int {
 	default:
 		// Geometric skip: successive gaps between successes are
 		// Geometric(P); expected iterations = N·P + 1.
-		logQ := math.Log1p(-b.P)
 		k, i := 0, 0
 		for {
 			// Skip ahead by a Geometric(P) gap.
-			gap := int(math.Log1p(-src.Float64()) / logQ)
+			gap := int(math.Log1p(-src.Float64()) / s.logQ)
 			i += gap + 1
-			if i > b.N {
+			if i > s.n {
 				return k
 			}
 			k++

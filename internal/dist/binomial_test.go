@@ -223,3 +223,48 @@ func TestQuickBinomialSampleInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBinomialSamplerIdenticalSequence pins the contract that makes
+// Sampler a drop-in hot-loop replacement: from the same Source state it
+// must consume the same draws and return the same variates as Sample,
+// across every branch of the algorithm (degenerate, Bernoulli, skip).
+func TestBinomialSamplerIdenticalSequence(t *testing.T) {
+	cases := []Binomial{
+		{N: 0, P: 0.5},
+		{N: 100, P: 0},
+		{N: 100, P: 1},
+		{N: 20, P: 0.3},        // Bernoulli branch
+		{N: 10000, P: 8.38e-5}, // geometric-skip branch (worm regime)
+		{N: 360000, P: 2.3e-6},
+	}
+	for _, b := range cases {
+		a := rng.NewPCG64(42, 9)
+		c := rng.NewPCG64(42, 9)
+		s := b.Sampler()
+		for i := 0; i < 2000; i++ {
+			want := b.Sample(a)
+			got := s.Sample(c)
+			if got != want {
+				t.Fatalf("N=%d P=%v draw %d: Sampler %d != Sample %d",
+					b.N, b.P, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBinomialSamplerMoments checks the cached sampler against the
+// distribution's moments directly, independent of the equivalence test.
+func TestBinomialSamplerMoments(t *testing.T) {
+	b := Binomial{N: 10000, P: 8.38e-5}
+	s := b.Sampler()
+	src := rng.NewPCG64(7, 3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Sample(src))
+	}
+	mean := sum / n
+	if math.Abs(mean-b.Mean()) > 0.02*b.Mean() {
+		t.Errorf("sampler mean %v, want ≈ %v", mean, b.Mean())
+	}
+}

@@ -71,10 +71,9 @@ func (p Poisson) PGF(s float64) float64 {
 }
 
 // Sample draws one variate. Small λ uses Knuth's product method; large λ
-// (> 30) uses the normal approximation with a PMF-ratio acceptance step
-// removed in favour of table-free inversion by sequential search started
-// at the mode, which stays exact and is fast enough for λ in the hundreds
-// that this library ever uses.
+// (>= 30) uses table-free inversion by sequential search started at the
+// mode, which stays exact, consumes exactly one uniform per variate, and
+// is fast enough for λ in the hundreds that this library ever uses.
 func (p Poisson) Sample(src rng.Source) int {
 	if p.Lambda == 0 {
 		return 0
@@ -90,10 +89,48 @@ func (p Poisson) Sample(src rng.Source) int {
 		}
 		return k
 	}
-	// Split λ into halves to stay in Knuth's stable range; the sum of
-	// independent Poissons is Poisson. Recursion depth is O(log λ).
-	half := Poisson{Lambda: p.Lambda / 2}
-	return half.Sample(src) + half.Sample(src)
+	// Inversion from the mode: find the smallest k (by mass accumulated
+	// outward from the mode) whose cumulative probability exceeds u.
+	// Starting at the mode instead of zero keeps the expected number of
+	// PMF terms O(√λ) and avoids the exp(-λ) underflow that kills
+	// inversion-from-zero for large λ. The PMF terms on each side follow
+	// from the recurrences P(k+1) = P(k)·λ/(k+1), P(k−1) = P(k)·k/λ.
+	u := src.Float64()
+	mode := int(p.Lambda)
+	pm := math.Exp(p.LogPMF(mode))
+	acc := pm
+	if u < acc {
+		return mode
+	}
+	lo, hi := mode, mode
+	plo, phi := pm, pm
+	for {
+		progressed := false
+		if phi > 0 {
+			hi++
+			phi *= p.Lambda / float64(hi)
+			acc += phi
+			if u < acc {
+				return hi
+			}
+			progressed = phi > 0
+		}
+		if lo > 0 && plo > 0 {
+			plo *= float64(lo) / p.Lambda
+			lo--
+			acc += plo
+			if u < acc {
+				return lo
+			}
+			progressed = progressed || plo > 0
+		}
+		if !progressed {
+			// Both tails have underflowed: u falls in the sliver of
+			// mass lost to rounding. The upper tail is where any real
+			// residual lives.
+			return hi
+		}
+	}
 }
 
 // Quantile returns the smallest k with CDF(k) >= q, for q in [0, 1).

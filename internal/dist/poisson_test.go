@@ -157,3 +157,146 @@ func TestQuickPoissonSampleDeterministic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// countingSource wraps a Source and counts how many uniforms the sampler
+// consumes, so tests can pin down the draw cost per variate.
+type countingSource struct {
+	src   rng.Source
+	draws int
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Float64() float64 {
+	c.draws++
+	return c.src.Float64()
+}
+
+// TestPoissonLargeLambdaOneDrawPerVariate pins the defining property of
+// inversion sampling: for λ >= 30 every variate consumes exactly one
+// uniform. The recursive-halving method this replaced consumed ~λ
+// uniforms per variate (it bottomed out in Knuth's product method).
+func TestPoissonLargeLambdaOneDrawPerVariate(t *testing.T) {
+	for _, lambda := range []float64{30, 45, 100, 500, 2000} {
+		p := Poisson{Lambda: lambda}
+		cs := &countingSource{src: rng.NewPCG64(7, 0)}
+		const n = 1000
+		for i := 0; i < n; i++ {
+			p.Sample(cs)
+		}
+		if cs.draws != n {
+			t.Errorf("lambda %v: %d draws for %d variates, want exactly %d",
+				lambda, cs.draws, n, n)
+		}
+	}
+}
+
+// TestPoissonSmallLambdaDrawsScaleWithLambda documents the contrast: the
+// Knuth branch consumes on average λ+1 uniforms per variate.
+func TestPoissonSmallLambdaDrawsScaleWithLambda(t *testing.T) {
+	p := Poisson{Lambda: 10}
+	cs := &countingSource{src: rng.NewPCG64(7, 0)}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p.Sample(cs)
+	}
+	perVariate := float64(cs.draws) / n
+	if perVariate < 10 || perVariate > 12.5 {
+		t.Errorf("Knuth branch: %.2f draws per variate, want ≈ λ+1 = 11", perVariate)
+	}
+}
+
+// TestPoissonLargeLambdaChiSquare is a goodness-of-fit check on the
+// inversion-from-the-mode branch: bin 50k samples at λ = 45 (and λ = 200)
+// against the exact PMF and compare the chi-square statistic to a
+// generous critical value. Bins with expected count < 5 are merged into
+// the tails.
+func TestPoissonLargeLambdaChiSquare(t *testing.T) {
+	for _, lambda := range []float64{45, 200} {
+		p := Poisson{Lambda: lambda}
+		src := rng.NewPCG64(1905, 4)
+		const n = 50000
+
+		// Bin range: mode ± 8σ covers all realistic mass; anything
+		// outside lands in the open tail bins.
+		sigma := math.Sqrt(lambda)
+		lo := int(lambda - 8*sigma)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(lambda + 8*sigma)
+		counts := make([]float64, hi-lo+2) // [0] = left tail, [last] = right tail
+		for i := 0; i < n; i++ {
+			k := p.Sample(src)
+			switch {
+			case k < lo:
+				counts[0]++
+			case k > hi:
+				counts[len(counts)-1]++
+			default:
+				counts[k-lo+1]++
+			}
+		}
+		expected := make([]float64, len(counts))
+		expected[0] = n * p.CDF(lo-1)
+		expected[len(expected)-1] = n * (1 - p.CDF(hi))
+		for k := lo; k <= hi; k++ {
+			expected[k-lo+1] = n * p.PMF(k)
+		}
+
+		// Merge bins with expected < 5 left to right so every cell
+		// meets the classical chi-square validity rule.
+		var obs, exp []float64
+		var co, ce float64
+		for i := range counts {
+			co += counts[i]
+			ce += expected[i]
+			if ce >= 5 {
+				obs = append(obs, co)
+				exp = append(exp, ce)
+				co, ce = 0, 0
+			}
+		}
+		if ce > 0 && len(exp) > 0 {
+			obs[len(obs)-1] += co
+			exp[len(exp)-1] += ce
+		}
+
+		chi2 := 0.0
+		for i := range obs {
+			d := obs[i] - exp[i]
+			chi2 += d * d / exp[i]
+		}
+		// Critical value: mean df plus ~4 standard deviations of the
+		// chi-square distribution — far beyond the 0.999 quantile, so
+		// the test only fails on a genuinely broken sampler, not on
+		// seed luck.
+		df := float64(len(obs) - 1)
+		crit := df + 4*math.Sqrt(2*df)
+		if chi2 > crit {
+			t.Errorf("lambda %v: chi-square %.1f exceeds %.1f (df %.0f)",
+				lambda, chi2, crit, df)
+		}
+	}
+}
+
+// TestPoissonLargeLambdaRange bounds the inversion branch: samples stay
+// nonnegative and within a 12σ envelope of the mean, so outward search
+// from the mode cannot run away on tail underflow.
+func TestPoissonLargeLambdaRange(t *testing.T) {
+	p := Poisson{Lambda: 64}
+	src := rng.NewPCG64(11, 0)
+	for i := 0; i < 20000; i++ {
+		k := p.Sample(src)
+		if k < 0 {
+			t.Fatalf("negative sample %d", k)
+		}
+		// Loose sanity envelope: 12σ around the mean.
+		if math.Abs(float64(k)-64) > 12*8 {
+			t.Fatalf("sample %d implausibly far from λ = 64", k)
+		}
+	}
+}

@@ -92,6 +92,10 @@ func runAblationDefense(opts Options) (*Result, error) {
 		ID:    "ablation-defense",
 		Title: "A1: defense comparison (none / M-limit / throttle / quarantine), fast and slow worms",
 	}
+	// One simulation arena per worker slot, shared by every cell of the
+	// comparison grid: replications reuse the event-kernel pools and
+	// population storage instead of reallocating them 8×runs times.
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, runs), sim.NewScratch)
 	for _, w := range worms {
 		var labels []string
 		var means []float64
@@ -103,7 +107,7 @@ func runAblationDefense(opts Options) (*Result, error) {
 				name  string
 				total int
 			}
-			cells, err := parallel.Map(runs, opts.Workers, func(r int) (cell, error) {
+			cells, err := parallel.MapSlot(runs, opts.Workers, func(r, slot int) (cell, error) {
 				d, err := mk(uint64(r))
 				if err != nil {
 					return cell{}, err
@@ -113,7 +117,7 @@ func runAblationDefense(opts Options) (*Result, error) {
 					return cell{}, err
 				}
 				cfg.Horizon = w.horizon
-				out, err := sim.Run(cfg)
+				out, err := sim.RunWith(cfg, pool.Get(slot))
 				if err != nil {
 					return cell{}, err
 				}
@@ -170,7 +174,8 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 
 	// Uncontained Code Red early phase at 6 scans/s.
 	const scanRate = 6.0
-	finals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, runs), sim.NewScratch)
+	finals, err := parallel.MapSlot(runs, opts.Workers, func(r, slot int) (int, error) {
 		cfg := sim.Config{
 			V:           360000,
 			I0:          10,
@@ -180,7 +185,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 			Seed:        opts.Seed,
 			Stream:      uint64(r),
 		}
-		out, err := sim.Run(cfg)
+		out, err := sim.RunWith(cfg, pool.Get(slot))
 		if err != nil {
 			return 0, err
 		}
@@ -211,8 +216,8 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 	}
 	tfFinal := tfTraj.States[len(tfTraj.States)-1][0]
 
-	patchedFinals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
-		out, err := sim.Run(sim.Config{
+	patchedFinals, err := parallel.MapSlot(runs, opts.Workers, func(r, slot int) (int, error) {
+		out, err := sim.RunWith(sim.Config{
 			V:           360000,
 			I0:          10,
 			ScanRate:    scanRate,
@@ -221,7 +226,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 			MaxInfected: 20000,
 			Seed:        opts.Seed ^ 0x9a7c,
 			Stream:      uint64(r),
-		})
+		}, pool.Get(slot))
 		if err != nil {
 			return 0, err
 		}
@@ -293,8 +298,9 @@ func runAblationPreference(opts Options) (*Result, error) {
 		ID:    "ablation-preference",
 		Title: "A3: preference-scanning worm vs uniform under the same M-limit",
 	}
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, runs), sim.NewScratch)
 	for _, sc := range scanners {
-		totals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
+		totals, err := parallel.MapSlot(runs, opts.Workers, func(r, slot int) (int, error) {
 			d, err := defense.NewMLimit(m, 365*24*time.Hour)
 			if err != nil {
 				return 0, err
@@ -310,7 +316,7 @@ func runAblationPreference(opts Options) (*Result, error) {
 				Seed:          opts.Seed,
 				Stream:        uint64(r),
 			}
-			out, err := sim.Run(cfg)
+			out, err := sim.RunWith(cfg, pool.Get(slot))
 			if err != nil {
 				return 0, err
 			}

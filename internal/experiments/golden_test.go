@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The artifact golden suite pins the byte-exact formatted output of a
+// representative artifact subset across performance work (event-kernel
+// rewrite, arena reuse, cached samplers). Fingerprints live in
+// testdata/golden.json, recorded on the pre-optimization tree;
+// regenerate with -update only when a change is meant to alter sample
+// paths.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenArtifacts cover every replication-loop style: the fast
+// Monte-Carlo engine (fig7), the branching-process artifacts (fig2),
+// the DES defense sweep (ablation-defense), the duty-cycle sweep
+// (ablation-stealth) and the full-DES sample path (fig9).
+var goldenArtifacts = []string{"fig2", "fig7", "fig9", "ablation-defense", "ablation-stealth"}
+
+// goldenOptions fixes the run shape: quick replication, explicit seed,
+// a worker count that exercises the parallel path.
+func goldenOptions(seed uint64) Options {
+	return Options{Seed: seed, Quick: true, Workers: 4}
+}
+
+// computeArtifactGolden hashes each artifact's full Format() rendering —
+// every series value and note, byte for byte.
+func computeArtifactGolden(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, seed := range []uint64{1, 1905} {
+		for _, id := range goldenArtifacts {
+			res, err := Run(id, goldenOptions(seed))
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", id, seed, err)
+			}
+			h := fnv.New64a()
+			if _, err := h.Write([]byte(res.Format())); err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("%s/seed=%d", id, seed)] = fmt.Sprintf("%016x", h.Sum64())
+		}
+	}
+	return out
+}
+
+// TestGoldenArtifacts asserts the artifacts' formatted output is
+// byte-identical to the pre-optimization recordings.
+func TestGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates several artifacts")
+	}
+	got := computeArtifactGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	for key, w := range want {
+		if g, ok := got[key]; !ok {
+			t.Errorf("%s: missing from computed fingerprints", key)
+		} else if g != w {
+			t.Errorf("%s: fingerprint %s, golden %s — artifact output changed", key, g, w)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: not in golden file, rerun with -update", key)
+		}
+	}
+}

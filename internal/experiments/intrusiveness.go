@@ -78,7 +78,8 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 		contained, fp float64
 		note          string
 	}
-	outs, err := parallel.Map(len(cases), opts.Workers, func(ci int) (caseOut, error) {
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, len(cases)), sim.NewScratch)
+	outs, err := parallel.MapSlot(len(cases), opts.Workers, func(ci, slot int) (caseOut, error) {
 		d, err := cases[ci].make()
 		if err != nil {
 			return caseOut{}, err
@@ -92,7 +93,7 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 		// same full horizon of legitimate traffic.
 		cfg.MaxInfected = 0
 		cfg.Background = &background
-		out, err := sim.Run(cfg)
+		out, err := sim.RunWith(cfg, pool.Get(slot))
 		if err != nil {
 			return caseOut{}, err
 		}
@@ -134,7 +135,7 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 	// bursts, while the M-limit doesn't care about rate at all as long
 	// as the monthly distinct-address total stays under M.
 	bursty := sim.BackgroundConfig{Hosts: bgHosts, ConnRate: 2, NewDestProb: 0.5}
-	burstyNotes, err := parallel.Map(len(cases), opts.Workers, func(ci int) (string, error) {
+	burstyNotes, err := parallel.MapSlot(len(cases), opts.Workers, func(ci, slot int) (string, error) {
 		d, err := cases[ci].make()
 		if err != nil {
 			return "", err
@@ -152,7 +153,7 @@ func runAblationIntrusiveness(opts Options) (*Result, error) {
 		cfg.Horizon = horizon
 		cfg.MaxInfected = 0
 		cfg.Background = &bursty
-		out, err := sim.Run(cfg)
+		out, err := sim.RunWith(cfg, pool.Get(slot))
 		if err != nil {
 			return "", err
 		}

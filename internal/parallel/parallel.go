@@ -34,6 +34,15 @@ import (
 // must not share mutable state with other replications.
 type Func[T any] func(r int) (T, error)
 
+// SlotFunc computes replication r on worker slot. Slots are stable
+// goroutine identities in [0, workers): two replications on the same
+// slot never run concurrently, so fn may reuse slot-local scratch
+// (arenas, simulators, buffers) across replications without locking.
+// Randomness must still derive from r alone — the slot only scopes
+// memory reuse, never results — so output stays identical for every
+// worker count.
+type SlotFunc[T any] func(r, slot int) (T, error)
+
 // MergeFunc folds replication r's value into the accumulator. The engine
 // calls it on the caller's goroutine in strict replication order, so it
 // may mutate the accumulator freely without synchronization.
@@ -85,16 +94,16 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	}
 }
 
-// instrument wraps fn with busy-time and in-flight accounting. Generic
-// free function because methods cannot introduce type parameters.
-func instrument[T any](m *engineMetrics, fn Func[T]) Func[T] {
+// instrumentSlot wraps fn with busy-time and in-flight accounting.
+// Generic free function because methods cannot introduce type parameters.
+func instrumentSlot[T any](m *engineMetrics, fn SlotFunc[T]) SlotFunc[T] {
 	if m == nil {
 		return fn
 	}
-	return func(r int) (T, error) {
+	return func(r, slot int) (T, error) {
 		m.active.Add(1)
 		start := time.Now()
-		v, err := fn(r)
+		v, err := fn(r, slot)
 		m.busyNanos.Add(uint64(time.Since(start)))
 		m.active.Add(-1)
 		return v, err
@@ -142,6 +151,18 @@ type item[T any] struct {
 // replication order, the returned error is also identical for every
 // worker count.
 func Reduce[T, A any](n, workers int, acc A, fn Func[T], merge MergeFunc[T, A], opts ...Option) (A, error) {
+	return ReduceSlot(n, workers, acc,
+		func(r, _ int) (T, error) { return fn(r) },
+		merge, opts...)
+}
+
+// ReduceSlot is Reduce with worker-slot identity: fn receives, besides
+// the replication index r, the stable slot in [0, ClampWorkers(workers,
+// n)) of the goroutine running it. Replications that share a slot run
+// strictly one after another, which is what makes per-slot scratch
+// arenas (see ScratchPool) safe without synchronization. Everything
+// else — ordering, error selection, progress — is exactly Reduce.
+func ReduceSlot[T, A any](n, workers int, acc A, fn SlotFunc[T], merge MergeFunc[T, A], opts ...Option) (A, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
@@ -153,13 +174,13 @@ func Reduce[T, A any](n, workers int, acc A, fn Func[T], merge MergeFunc[T, A], 
 		return acc, nil
 	}
 	workers = ClampWorkers(workers, n)
-	fn = instrument(cfg.metrics, fn)
+	fn = instrumentSlot(cfg.metrics, fn)
 
 	if workers == 1 {
 		// Serial reference path: the parallel path below must be
 		// observationally identical to this loop.
 		for r := 0; r < n; r++ {
-			v, err := fn(r)
+			v, err := fn(r, 0)
 			if err != nil {
 				return acc, err
 			}
@@ -184,7 +205,7 @@ func Reduce[T, A any](n, workers int, acc A, fn Func[T], merge MergeFunc[T, A], 
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				r := int(next.Add(1) - 1)
@@ -196,14 +217,14 @@ func Reduce[T, A any](n, workers int, acc A, fn Func[T], merge MergeFunc[T, A], 
 					return
 				default:
 				}
-				v, err := fn(r)
+				v, err := fn(r, slot)
 				select {
 				case results <- item[T]{r: r, v: v, err: err}:
 				case <-stop:
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -251,6 +272,45 @@ func Reduce[T, A any](n, workers int, acc A, fn Func[T], merge MergeFunc[T, A], 
 	return acc, firstErr
 }
 
+// ScratchPool hands each worker slot a reusable scratch arena, created
+// lazily on a slot's first replication and reused for every later
+// replication on that slot. Because ReduceSlot/MapSlot never run two
+// replications of one slot concurrently, Get needs no synchronization —
+// each slot's entry is touched by exactly one goroutine per call.
+//
+// The arena must hold only memory, never results: replication output
+// must still be a pure function of the replication index, or the
+// engine's any-worker-count determinism guarantee is void.
+type ScratchPool[S any] struct {
+	mk    func() S
+	slots []S
+	ready []bool
+}
+
+// NewScratchPool returns a pool with capacity for slots workers (size it
+// with ClampWorkers). mk builds one slot's arena on first use.
+func NewScratchPool[S any](workers int, mk func() S) *ScratchPool[S] {
+	if workers < 1 {
+		workers = 1
+	}
+	return &ScratchPool[S]{
+		mk:    mk,
+		slots: make([]S, workers),
+		ready: make([]bool, workers),
+	}
+}
+
+// Get returns slot's arena, building it on first use. The caller is
+// responsible for resetting whatever state the previous replication
+// left behind.
+func (p *ScratchPool[S]) Get(slot int) S {
+	if !p.ready[slot] {
+		p.slots[slot] = p.mk()
+		p.ready[slot] = true
+	}
+	return p.slots[slot]
+}
+
 // Map runs fn(r) for every r in [0, n) across workers goroutines and
 // returns the results indexed by replication: out[r] = fn(r). workers <=
 // 0 selects DefaultWorkers. On error the first failing replication's
@@ -262,6 +322,23 @@ func Map[T any](n, workers int, fn Func[T], opts ...Option) ([]T, error) {
 	}
 	out := make([]T, n)
 	_, err := Reduce(n, workers, struct{}{}, fn,
+		func(z struct{}, r int, v T) (struct{}, error) {
+			out[r] = v
+			return z, nil
+		}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapSlot is Map with worker-slot identity; see ReduceSlot.
+func MapSlot[T any](n, workers int, fn SlotFunc[T], opts ...Option) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative replication count %d", n)
+	}
+	out := make([]T, n)
+	_, err := ReduceSlot(n, workers, struct{}{}, fn,
 		func(z struct{}, r int, v T) (struct{}, error) {
 			out[r] = v
 			return z, nil

@@ -234,3 +234,112 @@ func TestHighContention(t *testing.T) {
 		t.Fatalf("calls = %d, len = %d", calls.Load(), len(out))
 	}
 }
+
+// TestReduceSlotSlotsAreExclusive verifies the property that makes
+// slot-local scratch safe: no two replications on the same slot ever
+// overlap in time. Each slot keeps an entry counter that a second
+// concurrent replication would observe mid-flight.
+func TestReduceSlotSlotsAreExclusive(t *testing.T) {
+	const n, workers = 200, 8
+	inFlight := make([]atomic.Int32, workers)
+	_, err := ReduceSlot(n, workers, 0,
+		func(r, slot int) (int, error) {
+			if slot < 0 || slot >= workers {
+				return 0, fmt.Errorf("slot %d out of range", slot)
+			}
+			if inFlight[slot].Add(1) != 1 {
+				return 0, fmt.Errorf("slot %d entered concurrently", slot)
+			}
+			time.Sleep(time.Duration(r%3) * 10 * time.Microsecond)
+			if inFlight[slot].Add(-1) != 0 {
+				return 0, fmt.Errorf("slot %d left concurrently", slot)
+			}
+			return r, nil
+		},
+		func(acc, r, v int) (int, error) { return acc + v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceSlotSerialUsesSlotZero pins the serial reference path: with
+// one worker every replication runs on slot 0.
+func TestReduceSlotSerialUsesSlotZero(t *testing.T) {
+	_, err := ReduceSlot(50, 1, 0,
+		func(r, slot int) (int, error) {
+			if slot != 0 {
+				return 0, fmt.Errorf("replication %d on slot %d, want 0", r, slot)
+			}
+			return 0, nil
+		},
+		func(acc, r, v int) (int, error) { return acc, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScratchPoolReuseKeepsDeterminism runs a toy Monte-Carlo with a
+// slot-local accumulation buffer and checks the result is identical to
+// the buffer-free serial computation for several worker counts — the
+// whole point of the arena design.
+func TestScratchPoolReuseKeepsDeterminism(t *testing.T) {
+	const n = 300
+	ref := make([]uint64, n)
+	for r := 0; r < n; r++ {
+		src := rng.NewPCG64(99, uint64(r))
+		var sum uint64
+		for i := 0; i < 64; i++ {
+			sum += src.Uint64() % 1000
+		}
+		ref[r] = sum
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		pool := NewScratchPool(ClampWorkers(workers, n), func() []uint64 {
+			return make([]uint64, 64)
+		})
+		got, err := MapSlot(n, workers, func(r, slot int) (uint64, error) {
+			buf := pool.Get(slot) // reused across replications on this slot
+			src := rng.NewPCG64(99, uint64(r))
+			for i := range buf {
+				buf[i] = src.Uint64() % 1000 // overwrites previous replication's values
+			}
+			var sum uint64
+			for _, v := range buf {
+				sum += v
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range got {
+			if got[r] != ref[r] {
+				t.Fatalf("workers=%d replication %d: %d != ref %d",
+					workers, r, got[r], ref[r])
+			}
+		}
+	}
+}
+
+// TestScratchPoolLazyConstruction checks arenas are built once per slot,
+// on demand.
+func TestScratchPoolLazyConstruction(t *testing.T) {
+	var built atomic.Int32
+	pool := NewScratchPool(4, func() *int {
+		built.Add(1)
+		v := new(int)
+		return v
+	})
+	a := pool.Get(2)
+	b := pool.Get(2)
+	if a != b {
+		t.Fatal("same slot returned different arenas")
+	}
+	if built.Load() != 1 {
+		t.Fatalf("constructor ran %d times, want 1", built.Load())
+	}
+	pool.Get(0)
+	if built.Load() != 2 {
+		t.Fatalf("constructor ran %d times after second slot, want 2", built.Load())
+	}
+}

@@ -93,8 +93,17 @@ const (
 // that small consecutive seeds (0, 1, 2, ...) still produce well-mixed
 // initial states.
 func NewPCG64(seed, stream uint64) *PCG64 {
-	mix := NewSplitMix64(seed)
 	p := &PCG64{}
+	p.Reseed(seed, stream)
+	return p
+}
+
+// Reseed re-initializes the generator in place to the exact state
+// NewPCG64(seed, stream) would construct. Monte-Carlo loops that burn
+// one stream per replication can reuse a single generator allocation
+// across thousands of replications without changing any draw sequence.
+func (p *PCG64) Reseed(seed, stream uint64) {
+	mix := NewSplitMix64(seed)
 	// The increment must be odd; the stream id selects which odd value.
 	smStream := NewSplitMix64(stream ^ 0xda3e39cb94b95bdb)
 	p.incHi = smStream.Uint64()
@@ -106,7 +115,6 @@ func NewPCG64(seed, stream uint64) *PCG64 {
 	p.lo = lo
 	p.hi = p.hi + mix.Uint64() + carry
 	p.step()
-	return p
 }
 
 // add64 adds two uint64s and reports the carry out.

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/defense"
+)
+
+// BenchmarkFastMonteCarloCodeRed measures the fast Monte-Carlo engine
+// end to end in the paper's Fig. 7 regime: Code Red parameters, 100
+// replications per iteration, serial (workers=1) so ns/op is stable
+// across machines with different core counts.
+func BenchmarkFastMonteCarloCodeRed(b *testing.B) {
+	cfg := FastConfig{V: 360000, SpaceSize: 1 << 32, M: 10000, I0: 10, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFastMonteCarloWorkers(cfg, 100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunEnterprise measures one full discrete-event simulation
+// in the ablation scenario: 2000-host enterprise, M-limit defense, the
+// event-kernel's real workload.
+func BenchmarkSimRunEnterprise(b *testing.B) {
+	pfx, err := addr.ParsePrefix("10.50.0.0/16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	routable, err := addr.NewRoutable([]addr.Prefix{pfx})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := defense.NewMLimit(25, 365*24*time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunWith(Config{
+			V: 2000, I0: 5, ScanRate: 20,
+			Scanner: routable, Defense: d,
+			ClusterPrefix: &pfx, MaxInfected: 2000,
+			Horizon: 2 * time.Minute,
+			Seed:    1, Stream: 3,
+		}, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalInfected < 5 {
+			b.Fatalf("implausible result: %d infected", res.TotalInfected)
+		}
+	}
+}

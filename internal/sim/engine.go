@@ -239,6 +239,54 @@ type engine struct {
 	res        *Result
 	active     int
 	metrics    *simMetrics
+
+	// Bound method values, created once per engine (not per event):
+	// scheduling a scan, patch or immunization passes one of these plus a
+	// host index through des.ScheduleArg, so the per-event closure
+	// allocation of the naive form disappears.
+	scanFn     des.ArgHandler // scanAttempt
+	patchFn    des.ArgHandler // patchFire
+	immunizeFn des.ArgHandler // immunizeFire
+}
+
+// Scratch is the reusable arena for RunWith: the event-kernel node pool,
+// the population's address storage, and the per-host state slices, all
+// retained across runs so a replication loop allocates only the Result
+// it hands back. One Scratch serves one goroutine at a time; pair it
+// with parallel.ScratchPool to run replications across workers.
+type Scratch struct {
+	eng engine
+}
+
+// NewScratch returns an empty arena. The first run sizes it; later runs
+// with the same or smaller configuration reuse every buffer.
+func NewScratch() *Scratch {
+	s := &Scratch{}
+	s.init()
+	return s
+}
+
+// init wires the arena's engine: the event kernel and the bound method
+// values. It must run against the Scratch's own embedded engine — the
+// method values capture that exact pointer — which is why Scratch
+// values are initialized in place, never copied.
+func (s *Scratch) init() {
+	e := &s.eng
+	e.sim = des.New()
+	e.scanFn = e.scanAttempt
+	e.patchFn = e.patchFire
+	e.immunizeFn = e.immunizeFire
+}
+
+// grow returns s resized to n zeroed elements, reallocating only when
+// capacity is insufficient.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // simMetrics mirrors the Result scan-fate counters into a telemetry
@@ -266,30 +314,51 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 
 // Run executes one full discrete-event simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunWith(cfg, nil)
+}
+
+// RunWith is Run drawing its working memory — event-kernel node pool,
+// population storage, per-host state — from scratch. A nil scratch
+// allocates a fresh arena (identical to Run). Results are bit-identical
+// with and without arena reuse: every buffer is fully reset before use
+// and the RNG draw sequence does not depend on the arena's history.
+func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if scratch == nil {
+		scratch = NewScratch()
+	} else if scratch.eng.sim == nil {
+		scratch.init() // zero-value Scratch: wire it in place
+	}
+	e := &scratch.eng
 	src := rng.NewPCG64(cfg.Seed, cfg.Stream)
-	pop, err := addr.NewPopulation(cfg.V, cfg.ClusterPrefix, src)
-	if err != nil {
+	if e.pop == nil {
+		pop, err := addr.NewPopulation(cfg.V, cfg.ClusterPrefix, src)
+		if err != nil {
+			return nil, err
+		}
+		e.pop = pop
+	} else if err := e.pop.Repopulate(cfg.V, cfg.ClusterPrefix, src); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		cfg:        cfg,
-		sim:        des.New(),
-		src:        src,
-		pop:        pop,
-		status:     make([]Status, cfg.V),
-		gen:        make([]int, cfg.V),
-		infectedAt: make([]time.Duration, cfg.V),
-		res:        &Result{},
-	}
+	e.cfg = cfg
+	e.src = src
+	e.sim.Reset()
+	e.status = grow(e.status, cfg.V)
+	e.gen = grow(e.gen, cfg.V)
+	e.infectedAt = grow(e.infectedAt, cfg.V)
+	e.res = &Result{} // escapes to the caller; never pooled
+	e.active = 0
+	e.metrics = nil
 	for i := range e.status {
 		e.status[i] = Susceptible
 	}
 	if cfg.Metrics != nil {
 		e.sim.Instrument(cfg.Metrics)
 		e.metrics = newSimMetrics(cfg.Metrics)
+	} else {
+		e.sim.Instrument(nil) // drop instruments a previous run installed
 	}
 	if cfg.RecordPaths {
 		e.res.InfectedSeries = stats.NewTimeSeries()
@@ -297,9 +366,10 @@ func Run(cfg Config) (*Result, error) {
 		e.res.ActiveSeries = stats.NewTimeSeries()
 	}
 	if cfg.ScannerFactory == nil {
-		e.scanner = []addr.Scanner{cfg.Scanner}
+		e.scanner = grow(e.scanner, 1)
+		e.scanner[0] = cfg.Scanner
 	} else {
-		e.scanner = make([]addr.Scanner, cfg.V)
+		e.scanner = grow(e.scanner, cfg.V)
 	}
 
 	// Seed the outbreak: hosts 0..I0-1 are generation 0.
@@ -378,16 +448,19 @@ func (e *engine) startCountermeasures() {
 		if e.status[i] != Susceptible {
 			continue
 		}
-		host := i
 		delay := time.Duration(rng.Exponential(e.src, e.cfg.ImmunizeRate) * float64(time.Second))
-		e.sim.Schedule(delay, func() {
-			if e.status[host] != Susceptible {
-				return
-			}
-			e.status[host] = Removed
-			e.res.Immunized++
-		})
+		e.sim.ScheduleArg(delay, e.immunizeFn, i)
 	}
+}
+
+// immunizeFire is the immunization event: a still-susceptible host is
+// removed before the worm reaches it.
+func (e *engine) immunizeFire(i int) {
+	if e.status[i] != Susceptible {
+		return
+	}
+	e.status[i] = Removed
+	e.res.Immunized++
 }
 
 // schedulePatch books host i's patch (clean-up) event.
@@ -396,13 +469,17 @@ func (e *engine) schedulePatch(i int) {
 		return
 	}
 	delay := time.Duration(rng.Exponential(e.src, e.cfg.PatchRate) * float64(time.Second))
-	e.sim.Schedule(delay, func() {
-		if e.status[i] != Infected {
-			return
-		}
-		e.res.Patched++
-		e.remove(i)
-	})
+	e.sim.ScheduleArg(delay, e.patchFn, i)
+}
+
+// patchFire is the patch (clean-up) event: a still-infected host is
+// cleaned and retired.
+func (e *engine) patchFire(i int) {
+	if e.status[i] != Infected {
+		return
+	}
+	e.res.Patched++
+	e.remove(i)
 }
 
 // remove retires an infected host (defense removal).
@@ -439,7 +516,7 @@ func (e *engine) scheduleNextScan(i int) {
 	if dc := e.cfg.DutyCycle; dc != nil {
 		at = dc.nextActive(e.infectedAt[i], at)
 	}
-	e.sim.ScheduleAt(at, func() { e.scanAttempt(i) })
+	e.sim.ScheduleArgAt(at, e.scanFn, i)
 }
 
 // guardEvents stops the run when the event budget is exhausted.
@@ -502,7 +579,7 @@ func (e *engine) scanAttempt(i int) {
 					return
 				}
 				retry := at + time.Duration(rng.Exponential(e.src, e.cfg.ScanRate)*float64(time.Second))
-				e.sim.ScheduleAt(retry, func() { e.scanAttempt(i) })
+				e.sim.ScheduleArgAt(retry, e.scanFn, i)
 				return
 			}
 		}

@@ -55,13 +55,42 @@ func (c FastConfig) validate() error {
 // hosts are wasted, which reproduces the finite-population saturation
 // the Borel–Tanner approximation ignores.
 func FastTotal(cfg FastConfig, src rng.Source) (int, error) {
+	return FastTotalScratch(cfg, src, new(FastScratch))
+}
+
+// FastScratch is the reusable arena for FastTotalScratch: the
+// infected-host bitset, sized for the largest population seen so far.
+// One replication's writes are fully overwritten by the next
+// replication's reset, so reusing an arena changes no results — it only
+// removes the V-sized allocation (360 KB as a []bool for the Code Red
+// population, 45 KB as a bitset) from every replication.
+type FastScratch struct {
+	infected []uint64 // bitset over host indices 0..V-1
+}
+
+// bitset returns the infected bitset cleared and sized for v hosts.
+func (s *FastScratch) bitset(v int) []uint64 {
+	words := (v + 63) / 64
+	if cap(s.infected) < words {
+		s.infected = make([]uint64, words)
+		return s.infected
+	}
+	s.infected = s.infected[:words]
+	clear(s.infected)
+	return s.infected
+}
+
+// FastTotalScratch is FastTotal drawing its working memory from scratch,
+// for Monte-Carlo loops that run many replications per worker. The RNG
+// draw sequence is identical to FastTotal's.
+func FastTotalScratch(cfg FastConfig, src rng.Source, scratch *FastScratch) (int, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
-	hits := dist.Binomial{N: cfg.M, P: float64(cfg.V) / cfg.SpaceSize}
-	infected := make([]bool, cfg.V)
+	hits := dist.Binomial{N: cfg.M, P: float64(cfg.V) / cfg.SpaceSize}.Sampler()
+	infected := scratch.bitset(cfg.V)
 	for i := 0; i < cfg.I0; i++ {
-		infected[i] = true
+		infected[i>>6] |= 1 << (uint(i) & 63)
 	}
 	total := cfg.I0
 	frontier := cfg.I0 // infected hosts whose scans are not yet simulated
@@ -71,8 +100,8 @@ func FastTotal(cfg FastConfig, src rng.Source) (int, error) {
 			k := hits.Sample(src)
 			for j := 0; j < k; j++ {
 				victim := rng.Intn(src, cfg.V)
-				if !infected[victim] {
-					infected[victim] = true
+				if w, bit := victim>>6, uint64(1)<<(uint(victim)&63); infected[w]&bit == 0 {
+					infected[w] |= bit
 					total++
 					next++
 				}
@@ -129,10 +158,20 @@ func RunFastMonteCarloWorkers(cfg FastConfig, runs, workers int) (*MonteCarlo, e
 		Totals: make([]int, 0, runs),
 		Hist:   stats.NewIntHistogram(),
 	}
-	_, err := parallel.Reduce(runs, workers, mc,
-		func(r int) (int, error) {
-			src := rng.NewPCG64(cfg.Seed, uint64(r))
-			return FastTotal(cfg, src)
+	// Each slot owns one arena and one generator for its whole run
+	// sequence; Reseed pins replication r to stream r exactly as a
+	// fresh NewPCG64 would, so reuse changes no draw.
+	type slotState struct {
+		scratch FastScratch
+		src     rng.PCG64
+	}
+	pool := parallel.NewScratchPool(parallel.ClampWorkers(workers, runs),
+		func() *slotState { return new(slotState) })
+	_, err := parallel.ReduceSlot(runs, workers, mc,
+		func(r, slot int) (int, error) {
+			s := pool.Get(slot)
+			s.src.Reseed(cfg.Seed, uint64(r))
+			return FastTotalScratch(cfg, &s.src, &s.scratch)
 		},
 		func(mc *MonteCarlo, _ int, total int) (*MonteCarlo, error) {
 			mc.Totals = append(mc.Totals, total)
