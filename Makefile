@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint chaos fuzz-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare lint chaos crash fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -22,12 +22,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-json measures the telemetry and gateway benchmark suites and
-# records name → ns/op, B/op, allocs/op in BENCH_PR2.json — the
-# machine-readable proof that the instrumented gateway hot path stays
-# within 5% of the uninstrumented baseline.
+# bench-json measures the telemetry and gateway benchmark suites
+# (including the durable-journal variant of the gateway decision hot
+# path) and records name → ns/op, B/op, allocs/op in BENCH_PR5.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -benchtime 1s \
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -benchtime 1s \
 		./internal/telemetry ./internal/gateway
 
 # bench-compare re-measures the perf-critical benchmark suites (event
@@ -49,19 +48,37 @@ chaos:
 		WORMGATE_CHAOS_SEED=$$s $(GO) test -race -run 'Chaos' -count=1 ./internal/gateway || exit 1; \
 	done
 
+# The durable-state crash suite under the race detector: every WAL
+# write/fsync/snapshot/rename point is crashed in turn and recovery must
+# reproduce an acknowledged prefix of the limiter's history. Seeds match
+# the CI matrix; override with CRASH_SEEDS="42" for a single seed.
+CRASH_SEEDS ?= 1 7 1905
+crash:
+	@for s in $(CRASH_SEEDS); do \
+		echo "crash seed $$s"; \
+		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable || exit 1; \
+	done
+
 # Ten seconds of native fuzzing per target, matching the CI fuzz-smoke
 # job.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrometheusWriter -fuzztime 10s ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz FuzzReportLine -fuzztime 10s ./internal/gateway
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/durable
 
-# Coverage floor for the deployable network path; CI fails below 88.8%.
+# Coverage floors: the deployable network path (internal/gateway) and
+# the durability layer (internal/durable). CI fails below 88.8% / 85%.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/gateway
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/gateway coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 88.8) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 88.8% floor" >&2; exit 1; }
+	$(GO) test -count=1 -coverprofile=cover-durable.out ./internal/durable
+	@total=$$($(GO) tool cover -func=cover-durable.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/durable coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 85.0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% is below the 85% floor" >&2; exit 1; }
 
 lint:
 	@out=$$(gofmt -l .); \
@@ -72,4 +89,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos cover bench
+ci: lint build test race chaos crash cover bench

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFsckUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runFsck(nil, &out); err == nil || !strings.Contains(err.Error(), "-state-dir") {
+		t.Errorf("missing -state-dir: err %v, want mention of the flag", err)
+	}
+	if err := runFsck([]string{"-state-dir", filepath.Join(t.TempDir(), "nope")}, &out); err == nil {
+		t.Error("nonexistent directory: want error")
+	}
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFsck([]string{"-state-dir", file}, &out); err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Errorf("file as -state-dir: err %v, want not-a-directory", err)
+	}
+}
+
+func TestFsckEmptyDir(t *testing.T) {
+	var out bytes.Buffer
+	if err := runFsck([]string{"-state-dir", t.TempDir()}, &out); err != nil {
+		t.Fatalf("fsck on empty dir: %v", err)
+	}
+	if !strings.Contains(out.String(), "fresh") {
+		t.Errorf("empty-dir report should say fresh:\n%s", out.String())
+	}
+}

@@ -3,13 +3,15 @@
 //	wormgate serve     — run a containment gateway (TCP relay + limiter)
 //	wormgate collect   — run a fleet collector aggregating gateway reports
 //	wormgate probe     — issue one WCP/1 connection through a gateway
+//	wormgate fsck      — verify a durable state directory offline
 //
 // Examples:
 //
 //	wormgate collect -listen 127.0.0.1:7700
 //	wormgate serve -listen 127.0.0.1:7800 -m 5000 -cycle 720h \
-//	    -collector 127.0.0.1:7700 -id site-a -state /var/lib/wormgate.json
+//	    -collector 127.0.0.1:7700 -id site-a -state-dir /var/lib/wormgate
 //	wormgate probe -gateway 127.0.0.1:7800 -src 10.0.0.1 -dst 93.184.216.34 -port 80
+//	wormgate fsck -state-dir /var/lib/wormgate
 package main
 
 import (
@@ -19,13 +21,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"wormcontain/internal/addr"
 	"wormcontain/internal/core"
+	"wormcontain/internal/durable"
 	"wormcontain/internal/faultnet"
 	"wormcontain/internal/gateway"
+	"wormcontain/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +42,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: wormgate <serve|collect|probe> [flags]")
+		return fmt.Errorf("usage: wormgate <serve|collect|probe|fsck> [flags]")
 	}
 	switch args[0] {
 	case "serve":
@@ -46,8 +51,10 @@ func run(args []string) error {
 		return runCollect(args[1:])
 	case "probe":
 		return runProbe(args[1:])
+	case "fsck":
+		return runFsck(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, collect or probe)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, collect, probe or fsck)", args[0])
 	}
 }
 
@@ -63,7 +70,10 @@ func runServe(args []string) error {
 		collector = fs.String("collector", "", "collector address to report to (empty = none)")
 		id        = fs.String("id", "gateway", "gateway id in reports")
 		interval  = fs.Duration("report-interval", 10*time.Second, "reporting period")
-		statePath = fs.String("state", "", "limiter snapshot file (restored at start, saved at exit)")
+		statePath = fs.String("state", "", "legacy limiter snapshot file (restored at start, saved at exit); prefer -state-dir")
+		stateDir  = fs.String("state-dir", "", "durable state directory (checksummed WAL + atomic snapshots; survives kill -9)")
+		snapEvery = fs.Duration("snapshot-interval", 5*time.Minute, "full-snapshot period for -state-dir (bounds WAL growth)")
+		syncEvery = fs.Duration("fsync-interval", 10*time.Millisecond, "WAL group-commit period for -state-dir (crash loses at most this much acknowledged input)")
 		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /readyz, /stats, /metrics); empty = off")
 		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
 
@@ -81,36 +91,36 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	limiter, err := loadOrCreateLimiter(*statePath, core.LimiterConfig{
+	if *statePath != "" && *stateDir != "" {
+		return fmt.Errorf("-state and -state-dir are mutually exclusive")
+	}
+	cfg := core.LimiterConfig{
 		M:             *m,
 		Cycle:         *cycle,
 		CheckFraction: *checkFrac,
-	})
-	if err != nil {
-		return err
 	}
 
-	gw, err := gateway.New(gateway.Config{
-		Limiter:   limiter,
-		FailMode:  failMode,
-		DialRetry: faultnet.RetryConfig{MaxAttempts: *dialRetries, BaseDelay: *dialBackoff},
-	}, *listen)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("gateway %s listening on %s (M=%d, cycle=%v, fail-%s)\n", *id, gw.Addr(), *m, *cycle, failMode)
-
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- gw.Serve() }()
-
+	// The admin endpoint comes up before recovery so orchestrators can
+	// watch /readyz flip: 503 while the WAL replays, 200 once the
+	// gateway serves with recovered state.
+	reg := telemetry.NewRegistry()
+	var recovered atomic.Bool
+	var gwSlot atomic.Pointer[gateway.Gateway]
 	var admin *gateway.AdminServer
 	if *adminAddr != "" {
 		a, err := gateway.NewAdmin(gateway.AdminConfig{
-			Stats:    func() any { return gw.Stats() },
-			Registry: gw.Registry(),
-			Ready:    func() bool { return !gw.Degraded() },
-			Pprof:    *pprofOn,
+			Stats: func() any {
+				if gw := gwSlot.Load(); gw != nil {
+					return gw.Stats()
+				}
+				return map[string]string{"state": "recovering"}
+			},
+			Registry: reg,
+			Ready: func() bool {
+				gw := gwSlot.Load()
+				return recovered.Load() && gw != nil && !gw.Degraded()
+			},
+			Pprof: *pprofOn,
 		}, *adminAddr)
 		if err != nil {
 			return err
@@ -123,6 +133,62 @@ func runServe(args []string) error {
 		}
 		fmt.Printf("admin endpoint on http://%s (%s)\n", admin.Addr(), routes)
 	}
+
+	var limiter *core.Limiter
+	var store *durable.Store
+	if *stateDir != "" {
+		store, err = durable.Open(durable.Options{
+			Dir:              *stateDir,
+			FsyncInterval:    *syncEvery,
+			SnapshotInterval: *snapEvery,
+			Metrics:          reg,
+			Logf:             log.Printf,
+		}, cfg, time.Now().UTC())
+		if err != nil {
+			if admin != nil {
+				admin.Shutdown()
+			}
+			return err
+		}
+		limiter = store.Limiter()
+		ri := store.Recovery()
+		if ri.Fresh {
+			fmt.Printf("durable state: fresh start in %s\n", *stateDir)
+		} else {
+			fmt.Printf("durable state: recovered snapshot %d + %d WAL record(s) from %s (cycle %d, truncated %d byte(s))\n",
+				ri.SnapshotSeq, ri.ReplayedRecords, *stateDir, limiter.CycleIndex(), ri.TruncatedBytes)
+		}
+	} else {
+		limiter, err = loadOrCreateLimiter(*statePath, cfg)
+		if err != nil {
+			if admin != nil {
+				admin.Shutdown()
+			}
+			return err
+		}
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Limiter:   limiter,
+		Metrics:   reg,
+		FailMode:  failMode,
+		DialRetry: faultnet.RetryConfig{MaxAttempts: *dialRetries, BaseDelay: *dialBackoff},
+	}, *listen)
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		if admin != nil {
+			admin.Shutdown()
+		}
+		return err
+	}
+	fmt.Printf("gateway %s listening on %s (M=%d, cycle=%v, fail-%s)\n", *id, gw.Addr(), *m, *cycle, failMode)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve() }()
+	gwSlot.Store(gw)
+	recovered.Store(true)
 
 	var reporter *gateway.Reporter
 	reporterErr := make(chan error, 1)
@@ -163,6 +229,15 @@ func runServe(args []string) error {
 	}
 	gw.Shutdown()
 
+	// State is flushed only after the listeners are down, so the final
+	// snapshot captures every decision the gateway made.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		fmt.Printf("durable state flushed to %s (cycle %d, %d record(s) acknowledged)\n",
+			*stateDir, limiter.CycleIndex(), store.Acked())
+	}
 	if *statePath != "" {
 		if err := saveLimiter(limiter, *statePath); err != nil {
 			return err
@@ -202,14 +277,29 @@ func loadOrCreateLimiter(path string, cfg core.LimiterConfig) (*core.Limiter, er
 	return core.NewLimiter(cfg, time.Now().UTC())
 }
 
-// saveLimiter writes the limiter snapshot atomically (write + rename).
+// saveLimiter writes the limiter snapshot atomically: temp file, fsync,
+// rename. Without the fsync an ill-timed power loss could publish an
+// empty file under the final name — the bug class internal/durable
+// exists to kill.
 func saveLimiter(l *core.Limiter, path string) error {
 	data, err := l.MarshalState()
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)

@@ -1,0 +1,34 @@
+package core
+
+// Journal receives the limiter's logical input stream for write-ahead
+// logging. Both methods are invoked while the limiter's mutex is held,
+// so implementations must be fast and non-blocking — append the encoded
+// record to an in-memory buffer and flush elsewhere. In exchange the
+// journal order is exactly the order in which inputs were applied,
+// which is what makes replay deterministic: every derived transition
+// (removal, flag, cycle roll, deny) is a pure function of the input
+// prefix, so none of them need journaling.
+type Journal interface {
+	// RecordObserve logs one Observe call: every call, including
+	// repeats of already-seen destinations and denied attempts, so the
+	// replayed totalObserved matches the live one. unixMs is the
+	// observation time floored to the millisecond — the same precision
+	// the snapshot stores for the epoch, so cycle-roll decisions replay
+	// identically when the epoch is millisecond-aligned and the cycle a
+	// millisecond multiple.
+	RecordObserve(src, dst uint32, unixMs int64)
+
+	// RecordReinstate logs one successful Reinstate call (no-op
+	// reinstates are not recorded: they don't change state).
+	RecordReinstate(src uint32)
+}
+
+// SetJournal attaches (or, with nil, detaches) a journal receiving all
+// subsequent state-changing inputs. Attach before the limiter starts
+// observing traffic; the switch itself is ordered with in-flight calls
+// by the limiter mutex.
+func (l *Limiter) SetJournal(j Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = j
+}

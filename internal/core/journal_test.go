@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wormcontain/internal/rng"
+)
+
+// recJournal records the logical input stream.
+type recJournal struct {
+	kinds []byte // 'o' or 'r'
+	srcs  []uint32
+	dsts  []uint32
+	times []int64
+}
+
+func (j *recJournal) RecordObserve(src, dst uint32, unixMs int64) {
+	j.kinds = append(j.kinds, 'o')
+	j.srcs = append(j.srcs, src)
+	j.dsts = append(j.dsts, dst)
+	j.times = append(j.times, unixMs)
+}
+
+func (j *recJournal) RecordReinstate(src uint32) {
+	j.kinds = append(j.kinds, 'r')
+	j.srcs = append(j.srcs, src)
+	j.dsts = append(j.dsts, 0)
+	j.times = append(j.times, 0)
+}
+
+// replay applies the recorded stream to l.
+func (j *recJournal) replay(l *Limiter) {
+	for i, k := range j.kinds {
+		switch k {
+		case 'o':
+			l.Observe(j.srcs[i], j.dsts[i], time.UnixMilli(j.times[i]).UTC())
+		case 'r':
+			l.Reinstate(j.srcs[i])
+		}
+	}
+}
+
+func msAligned(t time.Time) time.Time { return time.UnixMilli(t.UnixMilli()).UTC() }
+
+func TestJournalRecordsEveryObserve(t *testing.T) {
+	start := msAligned(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	l, err := NewLimiter(LimiterConfig{M: 2, Cycle: time.Hour, CheckFraction: 0.5}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &recJournal{}
+	l.SetJournal(j)
+
+	// New dst, repeat dst, over-budget deny: all three must be journaled
+	// (replay needs the full input stream to reproduce totalObserved).
+	l.Observe(1, 10, start)
+	l.Observe(1, 10, start.Add(time.Second))
+	l.Observe(1, 11, start.Add(2*time.Second))
+	l.Observe(1, 12, start.Add(3*time.Second)) // deny: budget 2 exhausted
+	if len(j.kinds) != 4 {
+		t.Fatalf("journal has %d records, want 4 (repeats and denies included)", len(j.kinds))
+	}
+	// Reinstate of a removed host is journaled; no-op reinstates are not.
+	if !l.Reinstate(1) {
+		t.Fatal("Reinstate(1) = false, want true")
+	}
+	l.Reinstate(1) // no longer removed: no-op
+	l.Reinstate(9) // unknown host: no-op
+	if len(j.kinds) != 5 || j.kinds[4] != 'r' {
+		t.Fatalf("journal kinds = %q, want 4 observes + 1 reinstate", j.kinds)
+	}
+}
+
+func TestJournalReplayReproducesState(t *testing.T) {
+	// Drive a randomized history with cycle rolls, denials and
+	// reinstates; replaying the journal against a fresh limiter from the
+	// same start must reproduce byte-identical state. Observation times
+	// carry sub-millisecond noise on the live path: the journal's
+	// millisecond flooring must not change any cycle-roll decision
+	// because the epoch is millisecond-aligned and the cycle a
+	// millisecond multiple.
+	for _, seed := range []uint64{1, 7, 1905} {
+		start := msAligned(time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC))
+		cfg := LimiterConfig{M: 5, Cycle: 10 * time.Second, CheckFraction: 0.6}
+		live, err := NewLimiter(cfg, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := &recJournal{}
+		live.SetJournal(j)
+
+		r := rng.NewPCG64(seed, 0)
+		now := start
+		for i := 0; i < 2000; i++ {
+			now = now.Add(time.Duration(r.Uint64()%40_000_000) * time.Nanosecond)
+			src := uint32(r.Uint64() % 8)
+			dst := uint32(r.Uint64() % 12)
+			live.Observe(src, dst, now)
+			if r.Uint64()%50 == 0 {
+				live.Reinstate(src)
+			}
+		}
+
+		fresh, err := NewLimiter(cfg, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.replay(fresh)
+
+		want, err := live.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: replayed state differs from live state:\nlive:   %s\nreplay: %s",
+				seed, want, got)
+		}
+	}
+}
+
+func TestCheckpointStateCutUnderLock(t *testing.T) {
+	start := msAligned(time.Unix(1000, 0))
+	l, err := NewLimiter(LimiterConfig{M: 4, Cycle: time.Hour}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &recJournal{}
+	l.SetJournal(j)
+	l.Observe(1, 1, start)
+	l.Observe(1, 2, start)
+
+	var cutAt int
+	data, err := l.CheckpointState(func() { cutAt = len(j.kinds) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutAt != 2 {
+		t.Fatalf("cut saw %d journal records, want 2", cutAt)
+	}
+	// The snapshot restores to exactly the cut-point state.
+	restored, err := RestoreLimiter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.DistinctCount(1); got != 2 {
+		t.Fatalf("restored DistinctCount = %d, want 2", got)
+	}
+	// CheckpointState with nil cut degrades to MarshalState.
+	again, err := l.CheckpointState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatal("CheckpointState(nil) differs from prior checkpoint of unchanged state")
+	}
+}

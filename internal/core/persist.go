@@ -49,7 +49,27 @@ type limiterHostJS struct {
 func (l *Limiter) MarshalState() ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.marshalStateLocked()
+}
 
+// CheckpointState marshals the state like MarshalState and, on success,
+// invokes cut while still holding the limiter mutex. A journal (see
+// journal.go) uses cut to mark its cut point: because both journal
+// appends and this marshal run under the same lock, every input record
+// lands strictly before or strictly after the cut — the returned
+// snapshot plus the post-cut journal suffix is exactly the live state,
+// with no record double-applied or lost.
+func (l *Limiter) CheckpointState(cut func()) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.marshalStateLocked()
+	if err == nil && cut != nil {
+		cut()
+	}
+	return data, err
+}
+
+func (l *Limiter) marshalStateLocked() ([]byte, error) {
 	st := limiterState{
 		Version:       limiterStateVersion,
 		M:             l.cfg.M,

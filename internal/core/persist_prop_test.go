@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wormcontain/internal/rng"
+)
+
+// TestLimiterSnapshotRoundTripRandomHistories is the durability
+// property test: MarshalState → RestoreLimiter → MarshalState is
+// byte-identical across randomized limiter histories, including spilled
+// distinct sets, removals, flags, reinstates and multi-cycle rolls.
+func TestLimiterSnapshotRoundTripRandomHistories(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1905} {
+		r := rng.NewPCG64(seed, 42)
+		cfg := LimiterConfig{
+			M:             int(3 + r.Uint64()%100), // crosses smallSetMax=64 spill
+			Cycle:         time.Duration(1+r.Uint64()%30) * time.Second,
+			CheckFraction: float64(r.Uint64()%11) / 10, // includes 0 (disabled) and 1
+		}
+		start := time.UnixMilli(int64(r.Uint64() % (1 << 41))).UTC()
+		l, err := NewLimiter(cfg, start)
+		if err != nil {
+			t.Fatalf("seed %d: NewLimiter: %v", seed, err)
+		}
+		now := start
+		for i := 0; i < 5000; i++ {
+			now = now.Add(time.Duration(r.Uint64()%200_000_000) * time.Nanosecond)
+			src := uint32(r.Uint64() % 16)
+			dst := uint32(r.Uint64() % 256)
+			l.Observe(src, dst, now)
+			if r.Uint64()%100 == 0 {
+				l.Reinstate(src)
+			}
+		}
+
+		first, err := l.MarshalState()
+		if err != nil {
+			t.Fatalf("seed %d: MarshalState: %v", seed, err)
+		}
+		restored, err := RestoreLimiter(first)
+		if err != nil {
+			t.Fatalf("seed %d: RestoreLimiter: %v", seed, err)
+		}
+		second, err := restored.MarshalState()
+		if err != nil {
+			t.Fatalf("seed %d: restored MarshalState: %v", seed, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: round trip not byte-identical:\nfirst:  %s\nsecond: %s",
+				seed, first, second)
+		}
+
+		// The restored limiter is behaviorally live, not just
+		// serializable: both copies decide the next observation the same
+		// way.
+		probe := now.Add(time.Millisecond)
+		if a, b := l.Observe(3, 999, probe), restored.Observe(3, 999, probe); a != b {
+			t.Fatalf("seed %d: post-restore decision diverged: live %v, restored %v", seed, a, b)
+		}
+	}
+}
+
+// TestRestoreLimiterRejectsCheckFractionLikeValidate pins the
+// construction/restore validation parity: a snapshot with an
+// out-of-range CheckFraction is rejected with the same Validate error a
+// direct construction gets.
+func TestRestoreLimiterRejectsCheckFractionLikeValidate(t *testing.T) {
+	for _, f := range []float64{-0.1, 1.0001, 2, -7} {
+		cfg := LimiterConfig{M: 5, Cycle: time.Hour, CheckFraction: f}
+		wantErr := cfg.Validate()
+		if wantErr == nil {
+			t.Fatalf("CheckFraction %v: Validate accepted, test premise broken", f)
+		}
+		if _, err := NewLimiter(cfg, time.Unix(0, 0)); err == nil {
+			t.Fatalf("CheckFraction %v: NewLimiter accepted", f)
+		}
+		snap, err := json.Marshal(map[string]any{
+			"version":       1,
+			"m":             5,
+			"cycleMillis":   3600000,
+			"checkFraction": f,
+			"hosts":         []any{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RestoreLimiter(snap)
+		if err == nil {
+			t.Fatalf("CheckFraction %v: RestoreLimiter accepted out-of-range snapshot", f)
+		}
+		if !strings.Contains(err.Error(), wantErr.Error()) {
+			t.Fatalf("CheckFraction %v: RestoreLimiter error %q does not carry Validate error %q",
+				f, err, wantErr)
+		}
+	}
+}

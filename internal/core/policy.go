@@ -159,6 +159,7 @@ type Limiter struct {
 	cfg LimiterConfig
 
 	mu         sync.Mutex
+	journal    Journal   // optional WAL hook, called under mu; see journal.go
 	epoch      time.Time // start of the current containment cycle
 	cycleIndex uint64
 	hosts      map[uint32]*hostState
@@ -197,6 +198,12 @@ func (l *Limiter) Config() LimiterConfig { return l.cfg }
 func (l *Limiter) Observe(src, dst uint32, t time.Time) Decision {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.journal != nil {
+		// Journaled before applying, in lock order: the WAL is the exact
+		// input sequence, and replaying it regenerates every derived
+		// transition below.
+		l.journal.RecordObserve(src, dst, t.UnixMilli())
+	}
 	l.rollCycleLocked(t)
 	// Counted while the lock is already held, so enforcement points get
 	// an exact observation total at zero marginal cost: every decision
@@ -258,6 +265,9 @@ func (l *Limiter) Reinstate(src uint32) bool {
 	h := l.hosts[src]
 	if h == nil || !h.removed {
 		return false
+	}
+	if l.journal != nil {
+		l.journal.RecordReinstate(src)
 	}
 	h.reset()
 	return true

@@ -1,0 +1,142 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/faultfs"
+)
+
+// FileCheck is one state-directory file's verification result.
+type FileCheck struct {
+	// Name is the file's base name.
+	Name string
+	// Seq is its generation.
+	Seq uint64
+	// Bytes is the file size.
+	Bytes int
+	// Valid reports whether the file verified: full checksum + decode
+	// for snapshots, no torn tail for WAL segments.
+	Valid bool
+	// ValidBytes is the checksummed prefix length (segments only).
+	ValidBytes int
+	// Records is the intact record count (segments only).
+	Records int
+}
+
+// Report is a read-only audit of a state directory — what wormgate
+// fsck prints. The embedded RecoveryInfo is produced by the very same
+// recoverState/replaySegments code the serving path runs, so fsck's
+// accounting and a subsequent startup's accounting always agree.
+type Report struct {
+	RecoveryInfo
+
+	// Snapshots and Segments list every generation file found,
+	// ascending.
+	Snapshots []FileCheck
+	Segments  []FileCheck
+	// TempFiles lists leftover in-flight files (crashed snapshot
+	// writes; harmless, GC'd at next Open).
+	TempFiles []string
+
+	// Config, CycleIndex and Stats describe the recovered limiter
+	// (zero-valued when Fresh and nothing was replayable).
+	Config     core.LimiterConfig
+	CycleIndex uint64
+	Stats      core.Stats
+}
+
+// Inspect audits dir without modifying it.
+func Inspect(fsys faultfs.FS) (Report, error) {
+	var rep Report
+	sc, err := scanDir(fsys)
+	if err != nil {
+		return rep, err
+	}
+	rep.TempFiles = sc.tmps
+	for _, seq := range sc.snaps {
+		raw, err := fsys.ReadFile(snapName(seq))
+		if err != nil {
+			return rep, err
+		}
+		fc := FileCheck{Name: snapName(seq), Seq: seq, Bytes: len(raw)}
+		if payload, derr := decodeSnapshot(raw); derr == nil {
+			if _, derr = core.RestoreLimiter(payload); derr == nil {
+				fc.Valid = true
+			}
+		}
+		rep.Snapshots = append(rep.Snapshots, fc)
+	}
+	for _, seq := range sc.segs {
+		raw, err := fsys.ReadFile(walName(seq))
+		if err != nil {
+			return rep, err
+		}
+		fc := FileCheck{Name: walName(seq), Seq: seq, Bytes: len(raw)}
+		fc.ValidBytes, fc.Records = decodeWAL(raw, nil)
+		fc.Valid = fc.ValidBytes == len(raw)
+		rep.Segments = append(rep.Segments, fc)
+	}
+
+	// Replay exactly as recovery would.
+	rec, err := recoverState(fsys, func(string, ...any) {})
+	if err != nil {
+		return rep, err
+	}
+	if rec.replayable {
+		if err := replaySegments(fsys, rec.limiter, rec.scan, rec.baseSeq, &rec.info,
+			func(string, ...any) {}); err != nil {
+			return rep, err
+		}
+	}
+	if rec.info.ReplayedRecords > 0 {
+		rec.info.Fresh = false
+	}
+	rep.RecoveryInfo = rec.info
+	if rec.limiter != nil {
+		rep.Config = rec.limiter.Config()
+		rep.CycleIndex = rec.limiter.CycleIndex()
+		rep.Stats = rec.limiter.Snapshot()
+	}
+	return rep, nil
+}
+
+// Write renders the report in the stable plain-text form wormgate fsck
+// prints.
+func (r Report) Write(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	for _, fc := range r.Snapshots {
+		status := "OK"
+		if !fc.Valid {
+			status = "CORRUPT"
+		}
+		p("snapshot %s  %d bytes  %s\n", fc.Name, fc.Bytes, status)
+	}
+	for _, fc := range r.Segments {
+		if fc.Valid {
+			p("wal      %s  %d bytes  %d records  OK\n", fc.Name, fc.Bytes, fc.Records)
+		} else {
+			p("wal      %s  %d bytes  %d records  TORN at byte %d (%d bytes unreachable)\n",
+				fc.Name, fc.Bytes, fc.Records, fc.ValidBytes, fc.Bytes-fc.ValidBytes)
+		}
+	}
+	for _, name := range r.TempFiles {
+		p("temp     %s  (in-flight snapshot; removed at next open)\n", name)
+	}
+	if r.Fresh {
+		p("recovery: fresh start (no usable prior state)\n")
+		return
+	}
+	p("recovery: snapshot generation %d + %d segment(s), %d record(s) replayed",
+		r.SnapshotSeq, r.ReplayedSegments, r.ReplayedRecords)
+	if r.TruncatedBytes > 0 {
+		p(", %d byte(s) truncated at record %d", r.TruncatedBytes, r.TruncatedAtRecord)
+	}
+	if r.CorruptSnapshots > 0 {
+		p(", %d corrupt snapshot(s) skipped", r.CorruptSnapshots)
+	}
+	p("\nstate: cycle %d, %d active host(s), %d removed, %d flagged, %d observed, %d denied\n",
+		r.CycleIndex, r.Stats.ActiveHosts, r.Stats.RemovedHosts, r.Stats.FlaggedHosts,
+		r.Stats.TotalObserved, r.Stats.TotalDenied)
+}

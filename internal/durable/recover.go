@@ -1,0 +1,229 @@
+package durable
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/faultfs"
+)
+
+// State-directory layout. Generation N pairs snapshot snap-N with WAL
+// segment wal-N: the segment holds exactly the inputs applied since
+// that snapshot was cut. Recovery therefore loads the newest valid
+// snapshot S and replays segments S, S+1, … in order.
+const (
+	snapPattern = "snap-%016d.snap"
+	walPattern  = "wal-%016d.log"
+	tmpSuffix   = ".tmp"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf(snapPattern, seq) }
+func walName(seq uint64) string  { return fmt.Sprintf(walPattern, seq) }
+
+// RecoveryInfo reports what startup recovery (and wormgate fsck, which
+// runs the identical code path read-only) found in a state directory.
+type RecoveryInfo struct {
+	// Fresh is true when no usable prior state was found: the limiter
+	// starts a new containment cycle.
+	Fresh bool
+	// SnapshotSeq is the generation of the snapshot recovery loaded
+	// (meaningful when !Fresh).
+	SnapshotSeq uint64
+	// CorruptSnapshots counts snapshot files that failed checksum or
+	// decode validation and were skipped for an older generation.
+	CorruptSnapshots int
+	// ReplayedSegments counts WAL segments replayed on top of the
+	// snapshot.
+	ReplayedSegments int
+	// ReplayedRecords counts WAL records applied during replay.
+	ReplayedRecords int
+	// TruncatedBytes counts bytes discarded at the WAL tail: the torn
+	// or corrupt suffix after the last intact record, plus any
+	// unreachable later segments. Zero after a clean shutdown.
+	TruncatedBytes int
+	// TruncatedAtRecord is the record index (within the whole replay)
+	// at which truncation happened, when TruncatedBytes > 0.
+	TruncatedAtRecord int
+}
+
+// scanDir classifies the state directory's files.
+type dirScan struct {
+	snaps  []uint64 // ascending
+	segs   []uint64 // ascending
+	tmps   []string
+	maxSeq uint64
+}
+
+func scanDir(fsys faultfs.FS) (*dirScan, error) {
+	names, err := fsys.List()
+	if err != nil {
+		return nil, fmt.Errorf("durable: list state dir: %w", err)
+	}
+	sc := &dirScan{}
+	for _, name := range names {
+		var seq uint64
+		switch {
+		case matchSeq(name, snapPattern, &seq):
+			sc.snaps = append(sc.snaps, seq)
+		case matchSeq(name, walPattern, &seq):
+			sc.segs = append(sc.segs, seq)
+		case len(name) > len(tmpSuffix) && name[len(name)-len(tmpSuffix):] == tmpSuffix:
+			sc.tmps = append(sc.tmps, name)
+			continue
+		default:
+			continue
+		}
+		if seq > sc.maxSeq {
+			sc.maxSeq = seq
+		}
+	}
+	sort.Slice(sc.snaps, func(i, j int) bool { return sc.snaps[i] < sc.snaps[j] })
+	sort.Slice(sc.segs, func(i, j int) bool { return sc.segs[i] < sc.segs[j] })
+	return sc, nil
+}
+
+// matchSeq parses names of the exact generated form (fixed width, so
+// lexical file order equals generation order).
+func matchSeq(name, pattern string, seq *uint64) bool {
+	var s uint64
+	var tail string
+	n, err := fmt.Sscanf(name, pattern, &s)
+	if err != nil || n != 1 {
+		return false
+	}
+	// Sscanf tolerates prefixes; require exact round-trip.
+	tail = fmt.Sprintf(pattern, s)
+	if tail != name {
+		return false
+	}
+	*seq = s
+	return true
+}
+
+// recovered is the outcome of recoverState.
+type recovered struct {
+	// limiter is the snapshot-restored limiter, nil when info.Fresh
+	// (the caller constructs the base limiter, then replays).
+	limiter *core.Limiter
+	info    RecoveryInfo
+	scan    *dirScan
+	// baseSeq is the generation replay starts from; replay is only
+	// meaningful when limiter != nil or (info.Fresh && replayable).
+	baseSeq uint64
+	// replayable is false when no valid snapshot exists and the WAL
+	// does not start at generation 0: the segments are unreachable.
+	replayable bool
+}
+
+// recoverState rebuilds the limiter from the state directory: newest
+// valid snapshot, then WAL replay with tail truncation. It is strictly
+// read-only (Open does the rewriting afterwards; Inspect never does)
+// and never fails on corrupt or torn state — only on I/O errors. A nil
+// limiter with info.Fresh means no snapshot was usable.
+func recoverState(fsys faultfs.FS, logf func(string, ...any)) (recovered, error) {
+	sc, err := scanDir(fsys)
+	if err != nil {
+		return recovered{}, err
+	}
+	info := RecoveryInfo{Fresh: true}
+
+	// Newest valid snapshot wins; corrupt ones are logged, metered and
+	// skipped — never fatal.
+	var limiter *core.Limiter
+	var baseSeq uint64
+	for i := len(sc.snaps) - 1; i >= 0; i-- {
+		seq := sc.snaps[i]
+		raw, err := fsys.ReadFile(snapName(seq))
+		if err != nil {
+			return recovered{}, fmt.Errorf("durable: read %s: %w", snapName(seq), err)
+		}
+		payload, derr := decodeSnapshot(raw)
+		if derr == nil {
+			limiter, derr = core.RestoreLimiter(payload)
+		}
+		if derr != nil {
+			info.CorruptSnapshots++
+			logf("durable: skipping corrupt snapshot %s: %v", snapName(seq), derr)
+			limiter = nil
+			continue
+		}
+		info.Fresh = false
+		info.SnapshotSeq = seq
+		baseSeq = seq
+		break
+	}
+
+	// Without a valid snapshot the WAL is only replayable from
+	// generation 0 (each segment's records assume its snapshot as the
+	// base state): the caller builds a fresh base limiter and replay
+	// regenerates the full history. A WAL that starts later is
+	// unreachable — recovery starts fresh rather than failing.
+	replayable := limiter != nil
+	if limiter == nil {
+		if len(sc.segs) > 0 && sc.segs[0] == 0 {
+			baseSeq = 0
+			replayable = true
+		} else if len(sc.segs) > 0 {
+			logf("durable: no valid snapshot and WAL does not start at generation 0; starting fresh")
+		}
+	}
+	return recovered{limiter: limiter, info: info, scan: sc, baseSeq: baseSeq, replayable: replayable}, nil
+}
+
+// replaySegments applies WAL segments baseSeq, baseSeq+1, … to limiter,
+// stopping at the first torn/corrupt record or sequence gap. It
+// mutates info in place and is shared verbatim by Open and Inspect so
+// fsck reports exactly the accounting recovery used.
+func replaySegments(fsys faultfs.FS, limiter *core.Limiter, sc *dirScan, baseSeq uint64,
+	info *RecoveryInfo, logf func(string, ...any)) error {
+
+	apply := func(r walRecord) {
+		if limiter == nil { // Inspect without a config: count, don't apply
+			return
+		}
+		switch r.kind {
+		case recObserve:
+			limiter.Observe(r.src, r.dst, time.UnixMilli(r.unixMs).UTC())
+		case recReinstate:
+			limiter.Reinstate(r.src)
+		}
+	}
+
+	want := baseSeq
+	truncated := false
+	for _, seq := range sc.segs {
+		if seq < baseSeq {
+			continue
+		}
+		name := walName(seq)
+		data, err := fsys.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("durable: read %s: %w", name, err)
+		}
+		if truncated || seq != want {
+			// Unreachable records: either a sequence gap (lost segment)
+			// or a segment after a torn predecessor. Their inputs cannot
+			// be applied without gapping the stream.
+			if !truncated {
+				logf("durable: WAL gap: expected segment %d, found %d; discarding %d+ bytes", want, seq, len(data))
+				truncated = true
+			}
+			info.TruncatedBytes += len(data)
+			continue
+		}
+		valid, recs := decodeWAL(data, apply)
+		info.ReplayedSegments++
+		info.ReplayedRecords += recs
+		if valid < len(data) {
+			truncated = true
+			info.TruncatedBytes += len(data) - valid
+			info.TruncatedAtRecord = info.ReplayedRecords
+			logf("durable: truncated %s at byte %d (record %d): %d torn/corrupt bytes discarded",
+				name, valid, info.ReplayedRecords, len(data)-valid)
+		}
+		want = seq + 1
+	}
+	return nil
+}

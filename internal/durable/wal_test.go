@@ -1,0 +1,100 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestWALEncodeDecodeRoundTrip(t *testing.T) {
+	var b []byte
+	b = appendObserve(b, 1, 2, 1234567890123)
+	b = appendReinstate(b, 7)
+	b = appendObserve(b, 0xffffffff, 0, -5)
+
+	var got []walRecord
+	valid, n := decodeWAL(b, func(r walRecord) { got = append(got, r) })
+	if valid != len(b) || n != 3 {
+		t.Fatalf("decodeWAL = (%d, %d), want (%d, 3)", valid, n, len(b))
+	}
+	want := []walRecord{
+		{kind: recObserve, src: 1, dst: 2, unixMs: 1234567890123},
+		{kind: recReinstate, src: 7},
+		{kind: recObserve, src: 0xffffffff, dst: 0, unixMs: -5},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeWALTruncatesAtCorruption(t *testing.T) {
+	var b []byte
+	b = appendObserve(b, 1, 2, 3)
+	oneRec := len(b)
+	b = appendObserve(b, 4, 5, 6)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"torn mid-frame", b[:oneRec+5]},
+		{"torn mid-header", b[:oneRec+3]},
+		{"flipped payload bit", flipByte(b, oneRec+frameHeader+2)},
+		{"flipped crc bit", flipByte(b, oneRec+5)},
+		{"zero length", append(append([]byte{}, b[:oneRec]...), make([]byte, frameHeader)...)},
+		{"absurd length", overwriteLen(b, oneRec, 1<<30)},
+		{"unknown kind", corruptKind(b, oneRec)},
+	}
+	for _, tc := range cases {
+		valid, n := decodeWAL(tc.data, nil)
+		if valid != oneRec || n != 1 {
+			t.Errorf("%s: decodeWAL = (%d, %d), want (%d, 1)", tc.name, valid, n, oneRec)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x40
+	return c
+}
+
+func overwriteLen(b []byte, off int, v uint32) []byte {
+	c := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(c[off:], v)
+	return c
+}
+
+// corruptKind rewrites the second record with an unknown kind byte and
+// a matching checksum: framing valid, payload not.
+func corruptKind(b []byte, off int) []byte {
+	c := append([]byte(nil), b[:off]...)
+	bad := make([]byte, 17)
+	bad[0] = 99
+	return appendFrame(c, bad)
+}
+
+func TestSnapshotEnvelope(t *testing.T) {
+	payload := []byte(`{"version":1}`)
+	enc := encodeSnapshot(payload)
+	got, err := decodeSnapshot(enc)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("decodeSnapshot = (%q, %v), want (%q, nil)", got, err, payload)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", enc[:6]},
+		{"truncated payload", enc[:len(enc)-2]},
+		{"trailing garbage", append(append([]byte{}, enc...), 0)},
+		{"flipped bit", flipByte(enc, frameHeader+1)},
+	} {
+		if _, err := decodeSnapshot(tc.data); err == nil {
+			t.Errorf("%s: decodeSnapshot accepted corrupt input", tc.name)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wormcontain/internal/core"
+	"wormcontain/internal/durable"
 )
 
 // The acceptance bar for the telemetry subsystem is that the gateway's
@@ -90,6 +91,41 @@ func BenchmarkDecisionHotPath(b *testing.B) {
 				b.Fatal(err)
 			}
 			if d := gw.observe(uint32(req.src), uint32(req.dst)); d != core.Allow {
+				b.Fatal(d)
+			}
+		}
+	})
+
+	// The durable-journal variant: each Observe also encodes a WAL
+	// record into the store's in-memory buffer under the limiter mutex
+	// while a 2ms group-commit flusher fsyncs in the background — the
+	// per-decision cost a `-state-dir` gateway pays for crash safety.
+	b.Run("durable", func(b *testing.B) {
+		store, err := durable.Open(durable.Options{
+			Dir:           b.TempDir(),
+			FsyncInterval: 2 * time.Millisecond,
+		}, core.LimiterConfig{
+			M:             5000,
+			Cycle:         365 * 24 * time.Hour,
+			CheckFraction: 0.9,
+		}, time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer store.Close()
+		lim := store.Limiter()
+		req, err := parseRequest(benchRequestLine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lim.Observe(uint32(req.src), uint32(req.dst), time.Now())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req, err := parseRequest(benchRequestLine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := lim.Observe(uint32(req.src), uint32(req.dst), time.Now()); d != core.Allow {
 				b.Fatal(d)
 			}
 		}
