@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint chaos crash fuzz-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare lint chaos crash fuzz-smoke sketch-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json measures the telemetry and gateway benchmark suites
-# (including the durable-journal variant of the gateway decision hot
-# path) and records name → ns/op, B/op, allocs/op in BENCH_PR5.json.
+# (including the durable-journal and sketch-backend variants of the
+# gateway decision hot path) and records name → ns/op, B/op, allocs/op
+# in BENCH_PR6.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -benchtime 1s \
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -benchtime 1s \
 		./internal/telemetry ./internal/gateway
 
 # bench-compare re-measures the perf-critical benchmark suites (event
@@ -59,6 +60,16 @@ crash:
 		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable || exit 1; \
 	done
 
+# The sketch estimator's accuracy study in smoke mode, matching the CI
+# sketch-accuracy job: the golden fingerprints in
+# internal/experiments/testdata/golden_sketch.json pin the artifact's
+# output byte-for-byte at fixed seeds, and the worker-invariance test
+# re-runs it across worker counts. Regenerate the goldens only for an
+# intentional sample-path change:
+#   go test -run TestSketchAccuracyGolden -update-sketch ./internal/experiments
+sketch-smoke:
+	$(GO) test -run 'Sketch' -count=1 ./internal/experiments
+
 # Ten seconds of native fuzzing per target, matching the CI fuzz-smoke
 # job.
 fuzz-smoke:
@@ -66,8 +77,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReportLine -fuzztime 10s ./internal/gateway
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/durable
 
-# Coverage floors: the deployable network path (internal/gateway) and
-# the durability layer (internal/durable). CI fails below 88.8% / 85%.
+# Coverage floors: the deployable network path (internal/gateway), the
+# durability layer (internal/durable) and the containment policy plus
+# sketch estimator (internal/core). CI fails below 88.8% / 85% / 94%.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/gateway
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -79,6 +91,11 @@ cover:
 	echo "internal/durable coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 85.0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 85% floor" >&2; exit 1; }
+	$(GO) test -count=1 -coverprofile=cover-core.out ./internal/core
+	@total=$$($(GO) tool cover -func=cover-core.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/core coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 94.0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% is below the 94% floor" >&2; exit 1; }
 
 lint:
 	@out=$$(gofmt -l .); \
@@ -89,4 +106,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos crash cover bench
+ci: lint build test race chaos crash sketch-smoke cover bench

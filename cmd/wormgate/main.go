@@ -63,19 +63,23 @@ func run(args []string) error {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("wormgate serve", flag.ContinueOnError)
 	var (
-		listen    = fs.String("listen", "127.0.0.1:7800", "gateway listen address")
-		m         = fs.Int("m", 5000, "scan limit M (distinct destinations per cycle)")
-		cycle     = fs.Duration("cycle", 30*24*time.Hour, "containment cycle duration")
-		checkFrac = fs.Float64("check-fraction", 0.9, "early-check fraction f (0 disables)")
-		collector = fs.String("collector", "", "collector address to report to (empty = none)")
-		id        = fs.String("id", "gateway", "gateway id in reports")
-		interval  = fs.Duration("report-interval", 10*time.Second, "reporting period")
-		statePath = fs.String("state", "", "legacy limiter snapshot file (restored at start, saved at exit); prefer -state-dir")
-		stateDir  = fs.String("state-dir", "", "durable state directory (checksummed WAL + atomic snapshots; survives kill -9)")
-		snapEvery = fs.Duration("snapshot-interval", 5*time.Minute, "full-snapshot period for -state-dir (bounds WAL growth)")
-		syncEvery = fs.Duration("fsync-interval", 10*time.Millisecond, "WAL group-commit period for -state-dir (crash loses at most this much acknowledged input)")
-		adminAddr = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /readyz, /stats, /metrics); empty = off")
-		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
+		listen      = fs.String("listen", "127.0.0.1:7800", "gateway listen address")
+		m           = fs.Int("m", 5000, "scan limit M (distinct destinations per cycle)")
+		cycle       = fs.Duration("cycle", 30*24*time.Hour, "containment cycle duration")
+		checkFrac   = fs.Float64("check-fraction", 0.9, "early-check fraction f (0 disables)")
+		collector   = fs.String("collector", "", "collector address to report to (empty = none)")
+		id          = fs.String("id", "gateway", "gateway id in reports")
+		interval    = fs.Duration("report-interval", 10*time.Second, "reporting period")
+		limiterKind = fs.String("limiter", "exact", "containment backend: exact (per-host destination sets) or sketch (fixed-size cardinality estimators)")
+		sketchBits  = fs.Int("sketch-bits", 0, "sketch: per-host contact-bitmap width in bits (power of two >= 64; 0 = auto-size from -m)")
+		failLimit   = fs.Int("fail-threshold", 0, "sketch: remove a host whose distinct failed destinations reach this in one cycle (0 disables the failure variant)")
+		failBits    = fs.Int("fail-bits", 0, "sketch: per-host failure-bitmap width in bits (0 = auto-size from -fail-threshold)")
+		statePath   = fs.String("state", "", "legacy limiter snapshot file (restored at start, saved at exit); prefer -state-dir")
+		stateDir    = fs.String("state-dir", "", "durable state directory (checksummed WAL + atomic snapshots; survives kill -9)")
+		snapEvery   = fs.Duration("snapshot-interval", 5*time.Minute, "full-snapshot period for -state-dir (bounds WAL growth)")
+		syncEvery   = fs.Duration("fsync-interval", 10*time.Millisecond, "WAL group-commit period for -state-dir (crash loses at most this much acknowledged input)")
+		adminAddr   = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /readyz, /stats, /metrics); empty = off")
+		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
 
 		failModeStr   = fs.String("fail-mode", "open", "degradation policy while the collector is unreachable: open (keep relaying) or closed (deny new connections)")
 		dialRetries   = fs.Int("dial-retries", 3, "upstream dial attempts per connection (1 = no retries)")
@@ -94,10 +98,51 @@ func runServe(args []string) error {
 	if *statePath != "" && *stateDir != "" {
 		return fmt.Errorf("-state and -state-dir are mutually exclusive")
 	}
+	if *stateDir != "" {
+		// Zero or negative intervals used to slip straight into
+		// durable.Open, silently disabling the flusher or snapshotter —
+		// a durability hole nobody asked for. Refuse instead.
+		if *snapEvery <= 0 {
+			return fmt.Errorf("-snapshot-interval %v: must be > 0 when -state-dir is set (snapshots bound WAL growth)", *snapEvery)
+		}
+		if *syncEvery <= 0 {
+			return fmt.Errorf("-fsync-interval %v: must be > 0 when -state-dir is set (the WAL group-commit period)", *syncEvery)
+		}
+	}
 	cfg := core.LimiterConfig{
 		M:             *m,
 		Cycle:         *cycle,
 		CheckFraction: *checkFrac,
+	}
+
+	// Build the limiter factory once; both the durable and the
+	// in-memory paths use it so flag validation happens up front.
+	var newLimiter func(start time.Time) (core.ContainmentLimiter, error)
+	switch *limiterKind {
+	case "exact":
+		if *sketchBits != 0 || *failLimit != 0 || *failBits != 0 {
+			return fmt.Errorf("-sketch-bits, -fail-threshold and -fail-bits need -limiter=sketch")
+		}
+		newLimiter = func(start time.Time) (core.ContainmentLimiter, error) {
+			return core.NewLimiter(cfg, start)
+		}
+	case "sketch":
+		scfg := core.SketchConfig{
+			LimiterConfig: cfg,
+			Bits:          *sketchBits,
+			FailureM:      *failLimit,
+			FailureBits:   *failBits,
+		}
+		newLimiter = func(start time.Time) (core.ContainmentLimiter, error) {
+			return core.NewSketchLimiter(scfg, start)
+		}
+	default:
+		return fmt.Errorf("-limiter %q (want exact or sketch)", *limiterKind)
+	}
+	// Surface bad sketch widths and thresholds before any listener
+	// comes up, not on first use.
+	if _, err := newLimiter(time.Now().UTC()); err != nil {
+		return err
 	}
 
 	// The admin endpoint comes up before recovery so orchestrators can
@@ -134,13 +179,14 @@ func runServe(args []string) error {
 		fmt.Printf("admin endpoint on http://%s (%s)\n", admin.Addr(), routes)
 	}
 
-	var limiter *core.Limiter
+	var limiter core.ContainmentLimiter
 	var store *durable.Store
 	if *stateDir != "" {
 		store, err = durable.Open(durable.Options{
 			Dir:              *stateDir,
 			FsyncInterval:    *syncEvery,
 			SnapshotInterval: *snapEvery,
+			NewLimiter:       newLimiter,
 			Metrics:          reg,
 			Logf:             log.Printf,
 		}, cfg, time.Now().UTC())
@@ -159,7 +205,7 @@ func runServe(args []string) error {
 				ri.SnapshotSeq, ri.ReplayedRecords, *stateDir, limiter.CycleIndex(), ri.TruncatedBytes)
 		}
 	} else {
-		limiter, err = loadOrCreateLimiter(*statePath, cfg)
+		limiter, err = loadOrCreateLimiter(*statePath, newLimiter)
 		if err != nil {
 			if admin != nil {
 				admin.Shutdown()
@@ -255,14 +301,15 @@ func runServe(args []string) error {
 	return nil
 }
 
-// loadOrCreateLimiter restores a snapshot when present; otherwise starts
-// a fresh limiter with the given configuration.
-func loadOrCreateLimiter(path string, cfg core.LimiterConfig) (*core.Limiter, error) {
+// loadOrCreateLimiter restores a snapshot when present — whichever
+// backend wrote it — and otherwise builds a fresh limiter via the
+// factory the flags selected.
+func loadOrCreateLimiter(path string, newLimiter func(time.Time) (core.ContainmentLimiter, error)) (core.ContainmentLimiter, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		switch {
 		case err == nil:
-			l, err := core.RestoreLimiter(data)
+			l, err := core.RestoreAnyLimiter(data)
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", path, err)
 			}
@@ -274,14 +321,14 @@ func loadOrCreateLimiter(path string, cfg core.LimiterConfig) (*core.Limiter, er
 			return nil, err
 		}
 	}
-	return core.NewLimiter(cfg, time.Now().UTC())
+	return newLimiter(time.Now().UTC())
 }
 
 // saveLimiter writes the limiter snapshot atomically: temp file, fsync,
 // rename. Without the fsync an ill-timed power loss could publish an
 // empty file under the final name — the bug class internal/durable
 // exists to kill.
-func saveLimiter(l *core.Limiter, path string) error {
+func saveLimiter(l core.ContainmentLimiter, path string) error {
 	data, err := l.MarshalState()
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -86,12 +87,20 @@ func TestProbeErrors(t *testing.T) {
 	}
 }
 
+// exactFactory builds the default factory runServe would assemble for
+// -limiter=exact with the given config.
+func exactFactory(cfg core.LimiterConfig) func(time.Time) (core.ContainmentLimiter, error) {
+	return func(start time.Time) (core.ContainmentLimiter, error) {
+		return core.NewLimiter(cfg, start)
+	}
+}
+
 func TestLimiterStatePersistence(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "state.json")
-	cfg := core.LimiterConfig{M: 3, Cycle: time.Hour}
+	factory := exactFactory(core.LimiterConfig{M: 3, Cycle: time.Hour})
 
-	fresh, err := loadOrCreateLimiter(path, cfg)
+	fresh, err := loadOrCreateLimiter(path, factory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,12 +110,42 @@ func TestLimiterStatePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restored, err := loadOrCreateLimiter(path, cfg)
+	restored, err := loadOrCreateLimiter(path, factory)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := restored.DistinctCount(7); got != 2 {
 		t.Errorf("restored count = %d, want 2", got)
+	}
+}
+
+// TestSketchStatePersistence round-trips a sketch snapshot through the
+// legacy -state path: the saved file must restore into a sketch backend
+// even when the restoring process asked for -limiter=exact, because the
+// snapshot's embedded version wins.
+func TestSketchStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	scfg := core.SketchConfig{
+		LimiterConfig: core.LimiterConfig{M: 100, Cycle: time.Hour},
+		Bits:          128,
+	}
+	fresh, err := loadOrCreateLimiter(path, func(start time.Time) (core.ContainmentLimiter, error) {
+		return core.NewSketchLimiter(scfg, start)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Observe(7, 1, time.Now())
+	if err := saveLimiter(fresh, path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := loadOrCreateLimiter(path, exactFactory(core.LimiterConfig{M: 3, Cycle: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored.(*core.SketchLimiter); !ok {
+		t.Fatalf("restored %T, want *core.SketchLimiter (snapshot backend wins)", restored)
 	}
 }
 
@@ -116,7 +155,42 @@ func TestLoadOrCreateLimiterBadFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrCreateLimiter(path, core.LimiterConfig{M: 1, Cycle: time.Hour}); err == nil {
+	if _, err := loadOrCreateLimiter(path, exactFactory(core.LimiterConfig{M: 1, Cycle: time.Hour})); err == nil {
 		t.Error("expected error for corrupt state file")
+	}
+}
+
+// TestServeFlagValidation pins runServe's up-front flag rejection: bad
+// durability intervals and bad limiter selections must fail fast with a
+// clear error, before any listener or state directory is touched.
+func TestServeFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"zero snapshot interval", []string{"serve", "-state-dir", dir, "-snapshot-interval", "0s"}, "-snapshot-interval"},
+		{"negative snapshot interval", []string{"serve", "-state-dir", dir, "-snapshot-interval", "-1m"}, "-snapshot-interval"},
+		{"zero fsync interval", []string{"serve", "-state-dir", dir, "-fsync-interval", "0s"}, "-fsync-interval"},
+		{"negative fsync interval", []string{"serve", "-state-dir", dir, "-fsync-interval", "-10ms"}, "-fsync-interval"},
+		{"state and state-dir", []string{"serve", "-state", "x.json", "-state-dir", dir}, "mutually exclusive"},
+		{"unknown limiter", []string{"serve", "-limiter", "bloom"}, "-limiter"},
+		{"sketch flags without sketch", []string{"serve", "-sketch-bits", "128"}, "-limiter=sketch"},
+		{"fail threshold without sketch", []string{"serve", "-fail-threshold", "50"}, "-limiter=sketch"},
+		{"non power-of-two bits", []string{"serve", "-limiter", "sketch", "-sketch-bits", "100"}, "power of two"},
+		{"bits too narrow for m", []string{"serve", "-limiter", "sketch", "-m", "5000", "-sketch-bits", "64"}, "cannot resolve"},
+		{"bad fail mode", []string{"serve", "-fail-mode", "sideways"}, "fail mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) error %q, want it to mention %q", tc.args, err, tc.wantErr)
+			}
+		})
 	}
 }

@@ -21,6 +21,12 @@ type Journal interface {
 	// RecordReinstate logs one successful Reinstate call (no-op
 	// reinstates are not recorded: they don't change state).
 	RecordReinstate(src uint32)
+
+	// RecordFailure logs one ObserveFailure call (every call, including
+	// repeats, mirroring RecordObserve) from a backend implementing
+	// FailureObserver. The exact *Limiter never emits these; replaying
+	// a stream that contains them requires a FailureObserver backend.
+	RecordFailure(src, dst uint32, unixMs int64)
 }
 
 // SetJournal attaches (or, with nil, detaches) a journal receiving all

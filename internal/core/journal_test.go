@@ -30,6 +30,13 @@ func (j *recJournal) RecordReinstate(src uint32) {
 	j.times = append(j.times, 0)
 }
 
+func (j *recJournal) RecordFailure(src, dst uint32, unixMs int64) {
+	j.kinds = append(j.kinds, 'f')
+	j.srcs = append(j.srcs, src)
+	j.dsts = append(j.dsts, dst)
+	j.times = append(j.times, unixMs)
+}
+
 // replay applies the recorded stream to l.
 func (j *recJournal) replay(l *Limiter) {
 	for i, k := range j.kinds {

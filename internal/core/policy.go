@@ -318,6 +318,14 @@ type Stats struct {
 	TotalFlags int
 	// TotalDenied counts denied connection attempts across all cycles.
 	TotalDenied int
+	// TotalFailures counts ObserveFailure calls across all cycles.
+	// Always zero for the exact backend, which does not implement
+	// FailureObserver.
+	TotalFailures int
+	// FailureRemovals counts removals triggered by the connection-
+	// failure threshold (a subset of TotalRemovals). Always zero for
+	// the exact backend.
+	FailureRemovals int
 }
 
 // Snapshot returns the current statistics.

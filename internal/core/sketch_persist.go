@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sketch snapshots share the exact backend's persistence contract
+// (versioned, deterministic JSON; see persist.go) under their own
+// version number, so RestoreAnyLimiter can dispatch on the payload
+// alone. Registers serialize as hex-encoded little-endian words; a
+// host's cached set-bit counters are recomputed on restore rather than
+// stored — they are derived state.
+
+// sketchStateVersion tags sketch-backend snapshots. Exact snapshots
+// are version 1 (limiterStateVersion).
+const sketchStateVersion = 2
+
+type sketchState struct {
+	Version         int            `json:"version"`
+	M               int            `json:"m"`
+	CycleMillis     int64          `json:"cycleMillis"`
+	CheckFraction   float64        `json:"checkFraction"`
+	Bits            int            `json:"bits"`
+	FailureM        int            `json:"failureM,omitempty"`
+	FailureBits     int            `json:"failureBits,omitempty"`
+	EpochUnixMs     int64          `json:"epochUnixMillis"`
+	CycleIndex      uint64         `json:"cycleIndex"`
+	TotalObserved   int            `json:"totalObserved,omitempty"`
+	TotalRemovals   int            `json:"totalRemovals"`
+	TotalFlags      int            `json:"totalFlags"`
+	TotalDenied     int            `json:"totalDenied"`
+	TotalFailures   int            `json:"totalFailures,omitempty"`
+	FailureRemovals int            `json:"failureRemovals,omitempty"`
+	Hosts           []sketchHostJS `json:"hosts"`
+}
+
+type sketchHostJS struct {
+	Src uint32 `json:"src"`
+	// Regs holds the contact registers, hex-encoded little-endian
+	// uint64 words; FailRegs the failure registers (present only when
+	// the failure variant is configured).
+	Regs     string `json:"regs"`
+	FailRegs string `json:"failRegs,omitempty"`
+	Removed  bool   `json:"removed,omitempty"`
+	Flagged  bool   `json:"flagged,omitempty"`
+}
+
+// hexWords encodes register words deterministically.
+func hexWords(words []uint64) string {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return hex.EncodeToString(buf)
+}
+
+// parseHexWords inverts hexWords into dst, which must be exactly the
+// right length.
+func parseHexWords(s string, dst []uint64) error {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return err
+	}
+	if len(raw) != 8*len(dst) {
+		return fmt.Errorf("register payload is %d bytes, want %d", len(raw), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return nil
+}
+
+// MarshalState serializes the sketch limiter's complete state as
+// deterministic JSON: hosts sorted by source, registers hex-encoded,
+// so identical states produce identical bytes — the property the
+// durable crash suite's byte-equality invariant rests on.
+func (l *SketchLimiter) MarshalState() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.marshalStateLocked()
+}
+
+// CheckpointState marshals like MarshalState and invokes cut under the
+// limiter mutex; see (*Limiter).CheckpointState for the journal-cut
+// contract.
+func (l *SketchLimiter) CheckpointState(cut func()) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.marshalStateLocked()
+	if err == nil && cut != nil {
+		cut()
+	}
+	return data, err
+}
+
+func (l *SketchLimiter) marshalStateLocked() ([]byte, error) {
+	st := sketchState{
+		Version:         sketchStateVersion,
+		M:               l.cfg.M,
+		CycleMillis:     l.cfg.Cycle.Milliseconds(),
+		CheckFraction:   l.cfg.CheckFraction,
+		Bits:            l.cfg.Bits,
+		FailureM:        l.cfg.FailureM,
+		FailureBits:     l.cfg.FailureBits,
+		EpochUnixMs:     l.epoch.UnixMilli(),
+		CycleIndex:      l.cycleIndex,
+		TotalObserved:   l.totalObserved,
+		TotalRemovals:   l.totalRemovals,
+		TotalFlags:      l.totalFlags,
+		TotalDenied:     l.totalDenied,
+		TotalFailures:   l.totalFailures,
+		FailureRemovals: l.failureRemovals,
+		Hosts:           make([]sketchHostJS, 0, len(l.slots)),
+	}
+	for src, slot := range l.slots {
+		regs := l.regs(slot)
+		h := sketchHostJS{
+			Src:     src,
+			Regs:    hexWords(regs[:l.cwords]),
+			Removed: l.meta[slot].removed,
+			Flagged: l.meta[slot].flagged,
+		}
+		if l.cfg.FailureM > 0 {
+			h.FailRegs = hexWords(regs[l.cwords:])
+		}
+		st.Hosts = append(st.Hosts, h)
+	}
+	sort.Slice(st.Hosts, func(i, j int) bool { return st.Hosts[i].Src < st.Hosts[j].Src })
+	return json.Marshal(st)
+}
+
+// RestoreSketchLimiter rebuilds a sketch limiter from a MarshalState
+// snapshot.
+func RestoreSketchLimiter(data []byte) (*SketchLimiter, error) {
+	var st sketchState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: decode sketch snapshot: %w", err)
+	}
+	if st.Version != sketchStateVersion {
+		return nil, fmt.Errorf("core: sketch snapshot version %d, want %d",
+			st.Version, sketchStateVersion)
+	}
+	cfg := SketchConfig{
+		LimiterConfig: LimiterConfig{
+			M:             st.M,
+			Cycle:         time.Duration(st.CycleMillis) * time.Millisecond,
+			CheckFraction: st.CheckFraction,
+		},
+		Bits:        st.Bits,
+		FailureM:    st.FailureM,
+		FailureBits: st.FailureBits,
+	}
+	l, err := NewSketchLimiter(cfg, time.UnixMilli(st.EpochUnixMs).UTC())
+	if err != nil {
+		return nil, fmt.Errorf("core: sketch snapshot config: %w", err)
+	}
+	l.cycleIndex = st.CycleIndex
+	l.totalObserved = st.TotalObserved
+	l.totalRemovals = st.TotalRemovals
+	l.totalFlags = st.TotalFlags
+	l.totalDenied = st.TotalDenied
+	l.totalFailures = st.TotalFailures
+	l.failureRemovals = st.FailureRemovals
+	for _, h := range st.Hosts {
+		if _, dup := l.slots[h.Src]; dup {
+			return nil, fmt.Errorf("core: sketch snapshot duplicates host %d", h.Src)
+		}
+		slot := l.newSlotLocked(h.Src)
+		regs := l.regs(slot)
+		if err := parseHexWords(h.Regs, regs[:l.cwords]); err != nil {
+			return nil, fmt.Errorf("core: sketch snapshot host %d registers: %w", h.Src, err)
+		}
+		if l.cfg.FailureM > 0 {
+			if err := parseHexWords(h.FailRegs, regs[l.cwords:]); err != nil {
+				return nil, fmt.Errorf("core: sketch snapshot host %d failure registers: %w", h.Src, err)
+			}
+		}
+		set, fset := l.setBitsFor(slot)
+		if int(set) > l.denyBits || (l.cfg.FailureM > 0 && int(fset) > l.failDenyBits) {
+			return nil, fmt.Errorf("core: sketch snapshot host %d has %d/%d set bits past thresholds %d/%d",
+				h.Src, set, fset, l.denyBits, l.failDenyBits)
+		}
+		l.meta[slot] = sketchMeta{set: set, fset: fset, removed: h.Removed, flagged: h.Flagged}
+	}
+	return l, nil
+}
+
+// RestoreAnyLimiter rebuilds whichever limiter backend produced the
+// snapshot, dispatching on the embedded version: 1 → exact *Limiter,
+// 2 → *SketchLimiter. This is the entry point internal/durable uses,
+// which is what lets one state directory carry either backend.
+func RestoreAnyLimiter(data []byte) (ContainmentLimiter, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("core: decode limiter snapshot: %w", err)
+	}
+	switch probe.Version {
+	case limiterStateVersion:
+		return RestoreLimiter(data)
+	case sketchStateVersion:
+		return RestoreSketchLimiter(data)
+	default:
+		return nil, fmt.Errorf("core: limiter snapshot version %d not supported (want %d or %d)",
+			probe.Version, limiterStateVersion, sketchStateVersion)
+	}
+}

@@ -62,7 +62,7 @@ func Inspect(fsys faultfs.FS) (Report, error) {
 		}
 		fc := FileCheck{Name: snapName(seq), Seq: seq, Bytes: len(raw)}
 		if payload, derr := decodeSnapshot(raw); derr == nil {
-			if _, derr = core.RestoreLimiter(payload); derr == nil {
+			if _, derr = core.RestoreAnyLimiter(payload); derr == nil {
 				fc.Valid = true
 			}
 		}

@@ -104,9 +104,10 @@ func matchSeq(name, pattern string, seq *uint64) bool {
 
 // recovered is the outcome of recoverState.
 type recovered struct {
-	// limiter is the snapshot-restored limiter, nil when info.Fresh
-	// (the caller constructs the base limiter, then replays).
-	limiter *core.Limiter
+	// limiter is the snapshot-restored limiter (exact or sketch,
+	// whichever backend the snapshot's version selects), nil when
+	// info.Fresh (the caller constructs the base limiter, then replays).
+	limiter core.ContainmentLimiter
 	info    RecoveryInfo
 	scan    *dirScan
 	// baseSeq is the generation replay starts from; replay is only
@@ -131,7 +132,7 @@ func recoverState(fsys faultfs.FS, logf func(string, ...any)) (recovered, error)
 
 	// Newest valid snapshot wins; corrupt ones are logged, metered and
 	// skipped — never fatal.
-	var limiter *core.Limiter
+	var limiter core.ContainmentLimiter
 	var baseSeq uint64
 	for i := len(sc.snaps) - 1; i >= 0; i-- {
 		seq := sc.snaps[i]
@@ -141,7 +142,7 @@ func recoverState(fsys faultfs.FS, logf func(string, ...any)) (recovered, error)
 		}
 		payload, derr := decodeSnapshot(raw)
 		if derr == nil {
-			limiter, derr = core.RestoreLimiter(payload)
+			limiter, derr = core.RestoreAnyLimiter(payload)
 		}
 		if derr != nil {
 			info.CorruptSnapshots++
@@ -176,9 +177,15 @@ func recoverState(fsys faultfs.FS, logf func(string, ...any)) (recovered, error)
 // stopping at the first torn/corrupt record or sequence gap. It
 // mutates info in place and is shared verbatim by Open and Inspect so
 // fsck reports exactly the accounting recovery used.
-func replaySegments(fsys faultfs.FS, limiter *core.Limiter, sc *dirScan, baseSeq uint64,
+func replaySegments(fsys faultfs.FS, limiter core.ContainmentLimiter, sc *dirScan, baseSeq uint64,
 	info *RecoveryInfo, logf func(string, ...any)) error {
 
+	// A recFailure record replays only into a backend that observes
+	// failures (the sketch with FailureM configured). One that does not —
+	// a config downgrade mid-history — drops the record with a notice
+	// rather than corrupting the replay position.
+	failObs, _ := limiter.(core.FailureObserver)
+	droppedFailures := 0
 	apply := func(r walRecord) {
 		if limiter == nil { // Inspect without a config: count, don't apply
 			return
@@ -186,6 +193,12 @@ func replaySegments(fsys faultfs.FS, limiter *core.Limiter, sc *dirScan, baseSeq
 		switch r.kind {
 		case recObserve:
 			limiter.Observe(r.src, r.dst, time.UnixMilli(r.unixMs).UTC())
+		case recFailure:
+			if failObs != nil {
+				failObs.ObserveFailure(r.src, r.dst, time.UnixMilli(r.unixMs).UTC())
+			} else {
+				droppedFailures++
+			}
 		case recReinstate:
 			limiter.Reinstate(r.src)
 		}
@@ -224,6 +237,9 @@ func replaySegments(fsys faultfs.FS, limiter *core.Limiter, sc *dirScan, baseSeq
 				name, valid, info.ReplayedRecords, len(data)-valid)
 		}
 		want = seq + 1
+	}
+	if droppedFailures > 0 {
+		logf("durable: dropped %d failure record(s): recovered backend does not observe failures", droppedFailures)
 	}
 	return nil
 }

@@ -34,6 +34,14 @@ type Options struct {
 	// final one).
 	SnapshotInterval time.Duration
 
+	// NewLimiter, when non-nil, constructs the base limiter used when
+	// the directory holds no usable prior state — the hook that selects
+	// the sketch backend (or any other ContainmentLimiter). Nil builds
+	// the exact core.NewLimiter from the cfg passed to Open. When a
+	// snapshot IS recovered, its embedded backend and configuration win
+	// regardless of this factory: state continuity beats flags.
+	NewLimiter func(start time.Time) (core.ContainmentLimiter, error)
+
 	// Metrics, when non-nil, receives the wormgate_wal_*,
 	// wormgate_snapshot_* and wormgate_recovery_* series.
 	Metrics *telemetry.Registry
@@ -58,7 +66,7 @@ type Options struct {
 // takes limiter.mu → bufMu inside the cut, preserving the order).
 type Store struct {
 	fs      faultfs.FS
-	limiter *core.Limiter
+	limiter core.ContainmentLimiter
 	logf    func(string, ...any)
 	now     func() time.Time
 	info    RecoveryInfo
@@ -132,7 +140,12 @@ func Open(opts Options, cfg core.LimiterConfig, start time.Time) (*Store, error)
 	limiter := rec.limiter
 	if limiter == nil {
 		start = time.UnixMilli(start.UnixMilli()).UTC()
-		if limiter, err = core.NewLimiter(cfg, start); err != nil {
+		if opts.NewLimiter != nil {
+			limiter, err = opts.NewLimiter(start)
+		} else {
+			limiter, err = core.NewLimiter(cfg, start)
+		}
+		if err != nil {
 			return nil, err
 		}
 	} else if limiter.Config() != cfg {
@@ -187,8 +200,9 @@ func Open(opts Options, cfg core.LimiterConfig, start time.Time) (*Store, error)
 	return s, nil
 }
 
-// Limiter returns the recovered (and now journaled) limiter.
-func (s *Store) Limiter() *core.Limiter { return s.limiter }
+// Limiter returns the recovered (and now journaled) limiter — whichever
+// backend the state directory held, or the one Options.NewLimiter built.
+func (s *Store) Limiter() core.ContainmentLimiter { return s.limiter }
 
 // Recovery reports what startup recovery found.
 func (s *Store) Recovery() RecoveryInfo { return s.info }
@@ -198,6 +212,16 @@ func (s *Store) Recovery() RecoveryInfo { return s.info }
 func (s *Store) RecordObserve(src, dst uint32, unixMs int64) {
 	s.bufMu.Lock()
 	s.pending = appendObserve(s.pending, src, dst, unixMs)
+	s.pendingRecs++
+	s.appended++
+	s.bufMu.Unlock()
+}
+
+// RecordFailure implements core.Journal: same hot-path discipline and
+// byte cost as RecordObserve.
+func (s *Store) RecordFailure(src, dst uint32, unixMs int64) {
+	s.bufMu.Lock()
+	s.pending = appendFailure(s.pending, src, dst, unixMs)
 	s.pendingRecs++
 	s.appended++
 	s.bufMu.Unlock()

@@ -43,6 +43,7 @@ const maxSnapshotLen = 1 << 30
 const (
 	recObserve   byte = 1 // [kind u8][src u32][dst u32][unixMs u64] = 17 bytes
 	recReinstate byte = 2 // [kind u8][src u32] = 5 bytes
+	recFailure   byte = 3 // layout identical to recObserve; sketch backend only
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -66,6 +67,19 @@ func appendObserve(b []byte, src, dst uint32, unixMs int64) []byte {
 	return appendFrame(b, p[:])
 }
 
+// appendFailure appends one framed ObserveFailure record to b. The
+// sketch limiter is a pure function of its logical input stream exactly
+// like the exact limiter, so a failure observation journals as compactly
+// as a contact observation: 17 bytes, no register deltas.
+func appendFailure(b []byte, src, dst uint32, unixMs int64) []byte {
+	var p [17]byte
+	p[0] = recFailure
+	binary.LittleEndian.PutUint32(p[1:5], src)
+	binary.LittleEndian.PutUint32(p[5:9], dst)
+	binary.LittleEndian.PutUint64(p[9:17], uint64(unixMs))
+	return appendFrame(b, p[:])
+}
+
 // appendReinstate appends one framed Reinstate record to b.
 func appendReinstate(b []byte, src uint32) []byte {
 	var p [5]byte
@@ -78,8 +92,8 @@ func appendReinstate(b []byte, src uint32) []byte {
 type walRecord struct {
 	kind   byte
 	src    uint32
-	dst    uint32 // recObserve only
-	unixMs int64  // recObserve only
+	dst    uint32 // recObserve/recFailure only
+	unixMs int64  // recObserve/recFailure only
 }
 
 // parseRecord decodes one payload, strictly: wrong lengths and unknown
@@ -89,12 +103,12 @@ func parseRecord(p []byte) (walRecord, bool) {
 		return walRecord{}, false
 	}
 	switch p[0] {
-	case recObserve:
+	case recObserve, recFailure:
 		if len(p) != 17 {
 			return walRecord{}, false
 		}
 		return walRecord{
-			kind:   recObserve,
+			kind:   p[0],
 			src:    binary.LittleEndian.Uint32(p[1:5]),
 			dst:    binary.LittleEndian.Uint32(p[5:9]),
 			unixMs: int64(binary.LittleEndian.Uint64(p[9:17])),

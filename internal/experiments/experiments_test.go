@@ -16,7 +16,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-defense", "ablation-detection", "ablation-deterministic",
 		"ablation-intrusiveness", "ablation-preference", "ablation-stealth",
 		"catalogue", "claims", "fig1", "fig10", "fig11", "fig12", "fig2",
-		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"sketch-accuracy", "table1",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wormcontain/internal/core"
+	"wormcontain/internal/parallel"
+	"wormcontain/internal/rng"
+)
+
+func init() {
+	register("sketch-accuracy", runSketchAccuracy)
+}
+
+// sketchWidths is the register-width ladder the study sweeps: 8 to 64
+// bytes per tracked host, all valid for the study's M=100 budget.
+var sketchWidths = []int{64, 128, 256, 512}
+
+// sketchScenario shapes one epidemic mix: a population of legitimate
+// hosts whose distinct-contact counts are Poisson around legitMean, and
+// scanning worms that each touch wormContacts distinct destinations.
+type sketchScenario struct {
+	id           string
+	legitHosts   int
+	legitMean    float64
+	wormHosts    int
+	wormContacts int
+}
+
+// The three mixes bracket the estimator's operating envelope against
+// the study budget M=100: Code-Red-style enterprise traffic (legit far
+// below M, worms far above), a Slammer-style burst (worms deep into
+// sketch saturation), and a stealth mix where legitimate hosts sit just
+// under the budget — the regime where linear-counting variance can
+// actually flip a verdict.
+var sketchScenarios = []sketchScenario{
+	{"codered-enterprise", 40, 12, 8, 500},
+	{"slammer-burst", 40, 12, 8, 3000},
+	{"stealth-near-threshold", 40, 85, 8, 130},
+}
+
+// sketchTally is one replication's confusion-matrix contribution, plus
+// the failure-variant scan counts gathered in the Code Red scenario.
+type sketchTally struct {
+	keptExact    int   // hosts the exact backend left in place
+	removedExact int   // hosts the exact backend removed
+	falseRemove  []int // per width: sketch removed, exact did not
+	missed       []int // per width: exact removed, sketch did not
+
+	contactScanSum       float64 // scans until contact-variant removal, summed over worms
+	failureScanSum       float64 // scans until failure-variant removal, summed over worms
+	wormSamples          int
+	legitFailureRemovals int
+	legitFailureSamples  int
+}
+
+// sketchStudyBase is the shared containment policy: the paper's M=100
+// budget over one long cycle, so removal verdicts depend only on the
+// contact stream, never on a mid-replication rollover.
+var sketchStudyBase = core.LimiterConfig{
+	M:             100,
+	Cycle:         365 * 24 * time.Hour,
+	CheckFraction: 0.5,
+}
+
+// poissonDraw samples Poisson(mean) by Knuth's product-of-uniforms
+// method — O(mean) draws, exact for the study's means (≤ 85).
+func poissonDraw(g *rng.PCG64, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= g.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// runSketchReplication drives one replication of one scenario: an
+// identical contact stream feeds the exact limiter and one sketch per
+// width, and each host's final removal verdict is scored against the
+// exact backend's. The RNG is a dedicated PCG64 stream per replication,
+// which is what makes the fold worker-count invariant.
+func runSketchReplication(sc sketchScenario, seed uint64, r int, withFailure bool) (sketchTally, error) {
+	g := rng.NewPCG64(seed, uint64(r))
+	start := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+
+	exact, err := core.NewLimiter(sketchStudyBase, start)
+	if err != nil {
+		return sketchTally{}, err
+	}
+	sketches := make([]*core.SketchLimiter, len(sketchWidths))
+	for i, w := range sketchWidths {
+		sketches[i], err = core.NewSketchLimiter(core.SketchConfig{
+			LimiterConfig: sketchStudyBase,
+			Bits:          w,
+		}, start)
+		if err != nil {
+			return sketchTally{}, err
+		}
+	}
+
+	at := start
+	observe := func(src, dst uint32) {
+		exact.Observe(src, dst, at)
+		for _, s := range sketches {
+			s.Observe(src, dst, at)
+		}
+		at = at.Add(time.Millisecond)
+	}
+
+	var srcs []uint32
+	for i := 0; i < sc.legitHosts; i++ {
+		src := uint32(1 + i)
+		srcs = append(srcs, src)
+		n := poissonDraw(g, sc.legitMean)
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			observe(src, uint32(g.Uint64()))
+		}
+	}
+	for i := 0; i < sc.wormHosts; i++ {
+		src := uint32(10_000 + i)
+		srcs = append(srcs, src)
+		for k := 0; k < sc.wormContacts; k++ {
+			observe(src, uint32(g.Uint64()))
+		}
+	}
+
+	t := sketchTally{
+		falseRemove: make([]int, len(sketchWidths)),
+		missed:      make([]int, len(sketchWidths)),
+	}
+	for _, src := range srcs {
+		er := exact.Removed(src)
+		if er {
+			t.removedExact++
+		} else {
+			t.keptExact++
+		}
+		for wi, s := range sketches {
+			switch sr := s.Removed(src); {
+			case sr && !er:
+				t.falseRemove[wi]++
+			case er && !sr:
+				t.missed[wi]++
+			}
+		}
+	}
+
+	if withFailure {
+		runSketchFailureStudy(&t, g, start, sc)
+	}
+	return t, nil
+}
+
+// runSketchFailureStudy compares the two containment triggers on the
+// same scanners: a worm probing mostly-dark space fails ~99% of its
+// connections, so a failure budget of FailureM=50 should remove it in
+// roughly half the scans the M=100 contact budget needs — while
+// legitimate hosts, failing ~2% of the time, never get near it.
+func runSketchFailureStudy(t *sketchTally, g *rng.PCG64, start time.Time, sc sketchScenario) {
+	const (
+		failureM      = 50
+		wormScans     = 2000
+		wormFailRate  = 0.99
+		legitFailRate = 0.02
+	)
+	fv, err := core.NewSketchLimiter(core.SketchConfig{
+		LimiterConfig: sketchStudyBase,
+		Bits:          512,
+		FailureM:      failureM,
+		FailureBits:   512,
+	}, start)
+	if err != nil {
+		return
+	}
+	cv, err := core.NewSketchLimiter(core.SketchConfig{
+		LimiterConfig: sketchStudyBase,
+		Bits:          512,
+	}, start)
+	if err != nil {
+		return
+	}
+
+	at := start
+	for i := 0; i < sc.wormHosts; i++ {
+		src := uint32(20_000 + i)
+		fAt, cAt := 0, 0
+		for k := 1; k <= wormScans; k++ {
+			dst := uint32(g.Uint64())
+			fv.Observe(src, dst, at)
+			cv.Observe(src, dst, at)
+			if g.Float64() < wormFailRate {
+				fv.ObserveFailure(src, dst, at)
+			}
+			at = at.Add(time.Millisecond)
+			if fAt == 0 && fv.Removed(src) {
+				fAt = k
+			}
+			if cAt == 0 && cv.Removed(src) {
+				cAt = k
+			}
+			if fAt > 0 && cAt > 0 {
+				break
+			}
+		}
+		if fAt == 0 {
+			fAt = wormScans
+		}
+		if cAt == 0 {
+			cAt = wormScans
+		}
+		t.failureScanSum += float64(fAt)
+		t.contactScanSum += float64(cAt)
+		t.wormSamples++
+	}
+	for i := 0; i < sc.legitHosts; i++ {
+		src := uint32(30_000 + i)
+		n := poissonDraw(g, sc.legitMean)
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			dst := uint32(g.Uint64())
+			fv.Observe(src, dst, at)
+			if g.Float64() < legitFailRate {
+				fv.ObserveFailure(src, dst, at)
+			}
+			at = at.Add(time.Millisecond)
+		}
+		if fv.Removed(src) {
+			t.legitFailureRemovals++
+		}
+		t.legitFailureSamples++
+	}
+}
+
+// runSketchAccuracy (sketch-accuracy) is the estimator's accuracy-vs-
+// memory study: for each epidemic scenario it scores every sketch width
+// against the exact backend on identical contact streams and reports
+// the false-removal rate (sketch removed a host exact kept) and the
+// missed-containment rate (exact removed a host the sketch kept) as a
+// function of register bytes per tracked host. The Code Red scenario
+// additionally compares the connection-failure-counting variant's
+// scans-to-removal against the contact budget.
+func runSketchAccuracy(opts Options) (*Result, error) {
+	opts = opts.normalize()
+	// Each replication streams tens of thousands of contacts into five
+	// backends, so the replication count runs at a fifth of the
+	// Monte-Carlo default (floor 20): 40 under Quick, 200 at full depth.
+	reps := opts.Runs / 5
+	if reps < 20 {
+		reps = 20
+	}
+
+	res := &Result{
+		ID:    "sketch-accuracy",
+		Title: "sketch estimator accuracy vs register memory, scored against the exact limiter",
+	}
+	bytesPerHost := make([]float64, len(sketchWidths))
+	for i, w := range sketchWidths {
+		bytesPerHost[i] = float64(w / 8)
+	}
+
+	for si, sc := range sketchScenarios {
+		seed := opts.Seed ^ (uint64(si+1) * 0x9e3779b97f4a7c15)
+		withFailure := sc.id == "codered-enterprise"
+		zero := sketchTally{
+			falseRemove: make([]int, len(sketchWidths)),
+			missed:      make([]int, len(sketchWidths)),
+		}
+		total, err := parallel.Reduce(reps, opts.Workers, zero,
+			func(r int) (sketchTally, error) {
+				return runSketchReplication(sc, seed, r, withFailure)
+			},
+			func(acc sketchTally, _ int, t sketchTally) (sketchTally, error) {
+				acc.keptExact += t.keptExact
+				acc.removedExact += t.removedExact
+				for i := range sketchWidths {
+					acc.falseRemove[i] += t.falseRemove[i]
+					acc.missed[i] += t.missed[i]
+				}
+				acc.contactScanSum += t.contactScanSum
+				acc.failureScanSum += t.failureScanSum
+				acc.wormSamples += t.wormSamples
+				acc.legitFailureRemovals += t.legitFailureRemovals
+				acc.legitFailureSamples += t.legitFailureSamples
+				return acc, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		falseRate := make([]float64, len(sketchWidths))
+		missRate := make([]float64, len(sketchWidths))
+		for i := range sketchWidths {
+			if total.keptExact > 0 {
+				falseRate[i] = float64(total.falseRemove[i]) / float64(total.keptExact)
+			}
+			if total.removedExact > 0 {
+				missRate[i] = float64(total.missed[i]) / float64(total.removedExact)
+			}
+		}
+		res.Series = append(res.Series,
+			Series{Label: sc.id + ": false-removal rate vs bytes/host", X: bytesPerHost, Y: falseRate},
+			Series{Label: sc.id + ": missed-containment rate vs bytes/host", X: bytesPerHost, Y: missRate},
+		)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: exact backend removed %d and kept %d host verdicts over %d replications",
+			sc.id, total.removedExact, total.keptExact, reps))
+		if withFailure && total.wormSamples > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s failure variant (FailureM=50 vs M=100): scanners removed after mean %.1f scans "+
+					"vs %.1f contact-only; legitimate failure removals %d/%d",
+				sc.id,
+				total.failureScanSum/float64(total.wormSamples),
+				total.contactScanSum/float64(total.wormSamples),
+				total.legitFailureRemovals, total.legitFailureSamples))
+		}
+	}
+
+	// The analytic error ladder operators read against the measured
+	// rates: standard relative error of the estimate at M per width.
+	start := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+	for i, w := range sketchWidths {
+		l, err := core.NewSketchLimiter(core.SketchConfig{
+			LimiterConfig: sketchStudyBase,
+			Bits:          w,
+		}, start)
+		if err != nil {
+			return nil, err
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"width %d bits (%.0f B/host): expected relative error at M %.3f",
+			w, bytesPerHost[i], l.ExpectedRelativeError()))
+	}
+	return res, nil
+}

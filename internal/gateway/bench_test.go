@@ -41,6 +41,31 @@ func benchLimiter(b *testing.B) *core.Limiter {
 	return lim
 }
 
+// benchSketchLimiter is benchLimiter's estimator twin: same containment
+// parameters, sketch backend with the failure variant on, pre-seeded so
+// the measured Observe takes the repeat-bit fast path.
+func benchSketchLimiter(b *testing.B) *core.SketchLimiter {
+	b.Helper()
+	start := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+	lim, err := core.NewSketchLimiter(core.SketchConfig{
+		LimiterConfig: core.LimiterConfig{
+			M:             5000,
+			Cycle:         365 * 24 * time.Hour,
+			CheckFraction: 0.9,
+		},
+		FailureM: 100,
+	}, start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := parseRequest(benchRequestLine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lim.Observe(uint32(req.src), uint32(req.dst), time.Now())
+	return lim
+}
+
 func BenchmarkDecisionHotPath(b *testing.B) {
 	b.Run("uninstrumented", func(b *testing.B) {
 		lim := benchLimiter(b)
@@ -80,6 +105,27 @@ func BenchmarkDecisionHotPath(b *testing.B) {
 
 	b.Run("instrumented", func(b *testing.B) {
 		gw, err := New(Config{Limiter: benchLimiter(b)}, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer gw.Shutdown()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req, err := parseRequest(benchRequestLine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := gw.observe(uint32(req.src), uint32(req.dst)); d != core.Allow {
+				b.Fatal(d)
+			}
+		}
+	})
+
+	// The sketch-backend variant of the same steady-state decision: one
+	// hash, one bit test, one integer compare instead of a set lookup.
+	// Must hold the same zero-allocation bar as the exact backend.
+	b.Run("sketch", func(b *testing.B) {
+		gw, err := New(Config{Limiter: benchSketchLimiter(b)}, "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,5 +220,35 @@ func TestDecisionHotPathAllocationBudget(t *testing.T) {
 	})
 	if full > 1 {
 		t.Errorf("decision path allocates %.1f per connection, budget is 1", full)
+	}
+
+	// The sketch backend must meet the same budget — with zero headroom,
+	// since its registers never grow per destination.
+	sk, err := core.NewSketchLimiter(core.SketchConfig{
+		LimiterConfig: core.LimiterConfig{
+			M:             5000,
+			Cycle:         365 * 24 * time.Hour,
+			CheckFraction: 0.9,
+		},
+		FailureM: 100,
+	}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Observe(uint32(seed.src), uint32(seed.dst), time.Now())
+	sketchFull := testing.AllocsPerRun(1000, func() {
+		req, err := parseRequest(benchRequestLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sk.Observe(uint32(req.src), uint32(req.dst), time.Now()); d != core.Allow {
+			t.Fatal(d)
+		}
+		if d := sk.ObserveFailure(uint32(req.src), uint32(req.dst), time.Now()); d != core.Allow {
+			t.Fatal(d)
+		}
+	})
+	if sketchFull != 0 {
+		t.Errorf("sketch decision path allocates %.1f per connection, want 0", sketchFull)
 	}
 }

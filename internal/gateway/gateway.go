@@ -100,8 +100,13 @@ type Dialer func(network, address string) (net.Conn, error)
 
 // Config parameterizes a Gateway.
 type Config struct {
-	// Limiter is the containment engine; required.
-	Limiter *core.Limiter
+	// Limiter is the containment engine; required. Either backend works:
+	// the exact core.Limiter or the sketch-based core.SketchLimiter.
+	// When the limiter additionally implements core.FailureObserver
+	// (the sketch with a failure threshold configured), the gateway
+	// feeds upstream dial failures into it — the connection-failure
+	// containment signal.
+	Limiter core.ContainmentLimiter
 	// Dial opens upstream connections; nil means net.DialTimeout with
 	// DialTimeout.
 	Dial Dialer
@@ -138,6 +143,7 @@ type Gateway struct {
 	listener net.Listener
 	reg      *telemetry.Registry
 	metrics  *metricSet
+	failObs  core.FailureObserver // non-nil when cfg.Limiter observes failures
 	degraded atomic.Bool
 
 	mu     sync.Mutex
@@ -183,6 +189,9 @@ func New(cfg Config, listenAddr string) (*Gateway, error) {
 		listener: ln,
 		reg:      reg,
 	}
+	// Feature-detected once here, not per connection: the type assertion
+	// stays off the relay path.
+	g.failObs, _ = cfg.Limiter.(core.FailureObserver)
 	g.metrics = newMetricSet(reg, cfg.Limiter, &g.degraded)
 	return g, nil
 }
@@ -388,6 +397,15 @@ func (g *Gateway) handle(client net.Conn) {
 	upstream, err := g.dialUpstream(net.JoinHostPort(req.dst.String(), strconv.Itoa(req.dstPort)))
 	if err != nil {
 		g.metrics.dialErrors.Inc()
+		// Connection-failure containment: a permitted connection that
+		// could not reach its destination is exactly the signal the
+		// failure-counting variant keys on — worm scans mostly hit
+		// unreachable or refusing addresses. The verdict (if any) bites
+		// on the source's NEXT attempt; this one is already being
+		// refused as unreachable.
+		if g.failObs != nil {
+			g.failObs.ObserveFailure(uint32(req.src), uint32(req.dst), g.cfg.Now())
+		}
 		_, _ = client.Write(respDenyUpstream)
 		return
 	}

@@ -44,7 +44,7 @@ type metricSet struct {
 // costs one Snapshot (which walks the host table) instead of nine.
 // degraded is the gateway's live degradation flag, exported as a 0/1
 // gauge so dashboards see a gateway that lost its collector.
-func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter, degraded *atomic.Bool) *metricSet {
+func newMetricSet(reg *telemetry.Registry, limiter core.ContainmentLimiter, degraded *atomic.Bool) *metricSet {
 	bytes := reg.CounterVec("wormgate_relay_bytes_total",
 		"Bytes relayed through established connections.", "direction")
 	m := &metricSet{
@@ -106,6 +106,34 @@ func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter, degraded *atom
 	reg.CounterFunc("wormgate_limiter_denied_total",
 		"Denied connection attempts across all containment cycles.",
 		func() float64 { return float64(cache.get().TotalDenied) })
+
+	// Failure-variant counters, registered whenever the backend can
+	// observe failures (zero until traffic exercises the path).
+	if _, ok := limiter.(core.FailureObserver); ok {
+		reg.CounterFunc("wormgate_limiter_failures_total",
+			"Failed-connection observations across all containment cycles.",
+			func() float64 { return float64(cache.get().TotalFailures) })
+		reg.CounterFunc("wormgate_limiter_failure_removals_total",
+			"Host removals triggered by the connection-failure threshold.",
+			func() float64 { return float64(cache.get().FailureRemovals) })
+	}
+
+	// Estimator-specific series: memory footprint and analytic accuracy,
+	// the two numbers an operator sizing Bits watches.
+	if sk, ok := limiter.(*core.SketchLimiter); ok {
+		reg.GaugeFunc("wormgate_sketch_register_bytes",
+			"Register-slab memory held by the sketch limiter (capacity, including recycled slabs).",
+			func() float64 { return float64(sk.Memory().RegisterBytes) })
+		reg.GaugeFunc("wormgate_sketch_tracked_hosts",
+			"Hosts with sketch state in the current containment cycle.",
+			func() float64 { return float64(sk.Memory().TrackedHosts) })
+		reg.GaugeFunc("wormgate_sketch_bytes_per_host",
+			"Fixed per-host register cost of the configured sketch widths.",
+			func() float64 { return float64(sk.Memory().BytesPerHost) })
+		reg.GaugeFunc("wormgate_sketch_expected_relative_error",
+			"Analytic standard relative error of the cardinality estimate at the removal threshold M.",
+			func() float64 { return sk.ExpectedRelativeError() })
+	}
 	return m
 }
 
@@ -113,7 +141,7 @@ func newMetricSet(reg *telemetry.Registry, limiter *core.Limiter, degraded *atom
 // duration: the limiter-derived series all read through here, and the
 // snapshot walks the whole host table.
 type limiterStatsCache struct {
-	limiter *core.Limiter
+	limiter core.ContainmentLimiter
 
 	mu    sync.Mutex
 	at    time.Time
