@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint chaos crash fuzz-smoke sketch-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare lint chaos crash fleet-soak fuzz-smoke sketch-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,12 @@ test:
 	$(GO) test ./...
 
 # The race target certifies the deterministic parallel replication
-# engine (internal/parallel) and every fan-out built on it.
+# engine (internal/parallel) and every fan-out built on it. The
+# experiments package re-runs whole artifact suites under the detector
+# and sits near go test's default 10-minute per-package timeout, so the
+# limit is raised explicitly.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # One iteration per benchmark: a smoke run that keeps bench_test.go
 # compiling and completing, matching the CI bench-smoke job. Full
@@ -22,13 +25,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-json measures the telemetry and gateway benchmark suites
+# bench-json measures the telemetry, gateway and fleet benchmark suites
 # (including the durable-journal and sketch-backend variants of the
-# gateway decision hot path) and records name → ns/op, B/op, allocs/op
-# in BENCH_PR6.json.
+# gateway decision hot path, and the fleet forward hot path) and records
+# name → ns/op, B/op, allocs/op in BENCH_PR7.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -benchtime 1s \
-		./internal/telemetry ./internal/gateway
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -benchtime 1s \
+		./internal/telemetry ./internal/gateway ./internal/fleet
 
 # bench-compare re-measures the perf-critical benchmark suites (event
 # kernel, samplers, simulation engines, gateway hot path), records them
@@ -40,24 +43,44 @@ bench-compare:
 		./internal/des ./internal/dist ./internal/sim ./internal/gateway
 	$(GO) run ./cmd/benchjson compare BENCH_PR4_BASELINE.json BENCH_PR4.json
 
-# The gateway chaos suite under the race detector across the same fault
-# seeds CI sweeps. Override with CHAOS_SEEDS="42" for a single seed.
+# The gateway and fleet chaos suites under the race detector across the
+# same fault seeds CI sweeps. Override with CHAOS_SEEDS="42" for a
+# single seed.
 CHAOS_SEEDS ?= 1 7 1905
 chaos:
 	@for s in $(CHAOS_SEEDS); do \
 		echo "chaos seed $$s"; \
-		WORMGATE_CHAOS_SEED=$$s $(GO) test -race -run 'Chaos' -count=1 ./internal/gateway || exit 1; \
+		WORMGATE_CHAOS_SEED=$$s $(GO) test -race -run 'Chaos' -count=1 ./internal/gateway ./internal/fleet || exit 1; \
 	done
 
-# The durable-state crash suite under the race detector: every WAL
-# write/fsync/snapshot/rename point is crashed in turn and recovery must
-# reproduce an acknowledged prefix of the limiter's history. Seeds match
-# the CI matrix; override with CRASH_SEEDS="42" for a single seed.
+# The crash suites under the race detector: every WAL write/fsync/
+# snapshot/rename point is crashed in turn and recovery must reproduce
+# an acknowledged prefix of the limiter's history (internal/durable),
+# and a fleet peer killed mid-gossip must restart from its WAL still
+# enforcing and re-serving every alert it had acknowledged
+# (internal/fleet). Seeds match the CI matrix; override with
+# CRASH_SEEDS="42" for a single seed.
 CRASH_SEEDS ?= 1 7 1905
 crash:
 	@for s in $(CRASH_SEEDS); do \
 		echo "crash seed $$s"; \
-		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable || exit 1; \
+		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable ./internal/fleet || exit 1; \
+	done
+
+# The fleet soak: a seeded workload of randomized traffic, partitions
+# and heals across a (seed × fleet size) matrix; every cell must
+# converge to a byte-identical immunization set on every peer, twice,
+# with identical final state both times. Matches the CI fleet-soak
+# matrix; override either axis, e.g. FLEET_SIZES="8".
+FLEET_SEEDS ?= 1 7 1905
+FLEET_SIZES ?= 2 4 8
+fleet-soak:
+	@for s in $(FLEET_SEEDS); do \
+		for n in $(FLEET_SIZES); do \
+			echo "fleet soak seed $$s size $$n"; \
+			WORMGATE_FLEET_SEED=$$s WORMGATE_FLEET_SIZE=$$n \
+				$(GO) test -race -run 'FleetSoak' -count=1 ./internal/fleet || exit 1; \
+		done; \
 	done
 
 # The sketch estimator's accuracy study in smoke mode, matching the CI
@@ -106,4 +129,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos crash sketch-smoke cover bench
+ci: lint build test race chaos crash fleet-soak sketch-smoke cover bench

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"wormcontain/internal/core"
 	"wormcontain/internal/durable"
 	"wormcontain/internal/faultnet"
+	"wormcontain/internal/fleet"
 	"wormcontain/internal/gateway"
 	"wormcontain/internal/telemetry"
 )
@@ -81,6 +84,12 @@ func runServe(args []string) error {
 		adminAddr   = fs.String("admin", "", "HTTP admin endpoint address (/healthz, /readyz, /stats, /metrics); empty = off")
 		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof/ on the admin endpoint (debug only)")
 
+		peersStr    = fs.String("peers", "", "comma-separated fleet membership, every member's peer address including this node's -peer-listen (empty = standalone gateway)")
+		peerListen  = fs.String("peer-listen", "", "fleet peer listen address for forwarded observations and alert gossip (required with -peers)")
+		ringVnodes  = fs.Int("ring-vnodes", 64, "consistent-hash virtual nodes per fleet member")
+		alertFanout = fs.Int("alert-fanout", 3, "fleet peers each alert gossip push targets")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "fleet gossip period (alert push and digest anti-entropy)")
+
 		failModeStr   = fs.String("fail-mode", "open", "degradation policy while the collector is unreachable: open (keep relaying) or closed (deny new connections)")
 		dialRetries   = fs.Int("dial-retries", 3, "upstream dial attempts per connection (1 = no retries)")
 		dialBackoff   = fs.Duration("dial-backoff", 50*time.Millisecond, "initial upstream dial backoff (doubles per retry, jittered)")
@@ -92,6 +101,10 @@ func runServe(args []string) error {
 		return err
 	}
 	failMode, err := gateway.ParseFailMode(*failModeStr)
+	if err != nil {
+		return err
+	}
+	fleetPeers, err := parseFleetPeers(*peersStr, *peerListen, *ringVnodes, *alertFanout, *gossipEvery)
 	if err != nil {
 		return err
 	}
@@ -214,6 +227,56 @@ func runServe(args []string) error {
 		}
 	}
 
+	// With -peers the gateway's limiter is a fleet node wrapping the
+	// local one: observations route to each source's ring owner, and
+	// removals gossip back as alerts, so the decision path is unchanged
+	// for the relay — it still just calls Observe.
+	var fleetNode *fleet.Node
+	var fleetSrv *fleet.Server
+	var fleetTr *fleet.TCPTransport
+	closeFleet := func() {
+		if fleetNode != nil {
+			fleetNode.Stop()
+		}
+		if fleetSrv != nil {
+			fleetSrv.Shutdown()
+		}
+		if fleetTr != nil {
+			fleetTr.Close()
+		}
+	}
+	if len(fleetPeers) > 0 {
+		fleetTr = fleet.NewTCPTransport(fleet.TCPOptions{})
+		fleetNode, err = fleet.NewNode(fleet.Config{
+			Self:      *peerListen,
+			Peers:     fleetPeers,
+			Vnodes:    *ringVnodes,
+			Fanout:    *alertFanout,
+			Local:     limiter,
+			Transport: fleetTr,
+			Seed:      uint64(time.Now().UnixNano()),
+			Metrics:   reg,
+		})
+		if err == nil {
+			fleetSrv, err = fleet.NewServer(fleetNode, *peerListen)
+		}
+		if err != nil {
+			closeFleet()
+			if store != nil {
+				_ = store.Close()
+			}
+			if admin != nil {
+				admin.Shutdown()
+			}
+			return err
+		}
+		go func() { _ = fleetSrv.Serve() }()
+		fleetNode.Start(*gossipEvery, *gossipEvery)
+		limiter = fleetNode
+		fmt.Printf("fleet member %s: %d peers, %d vnodes, fanout %d, gossip every %v\n",
+			*peerListen, len(fleetPeers)-1, *ringVnodes, *alertFanout, *gossipEvery)
+	}
+
 	gw, err := gateway.New(gateway.Config{
 		Limiter:   limiter,
 		Metrics:   reg,
@@ -221,6 +284,7 @@ func runServe(args []string) error {
 		DialRetry: faultnet.RetryConfig{MaxAttempts: *dialRetries, BaseDelay: *dialBackoff},
 	}, *listen)
 	if err != nil {
+		closeFleet()
 		if store != nil {
 			_ = store.Close()
 		}
@@ -274,6 +338,9 @@ func runServe(args []string) error {
 		admin.Shutdown()
 	}
 	gw.Shutdown()
+	// Fleet gossip stops before the final snapshot so no alert lands
+	// between the state cut and process exit.
+	closeFleet()
 
 	// State is flushed only after the listeners are down, so the final
 	// snapshot captures every decision the gateway made.
@@ -299,6 +366,59 @@ func runServe(args []string) error {
 			rs.Enqueued, rs.Sent, rs.Dropped, rs.Redials, rs.Reconnects)
 	}
 	return nil
+}
+
+// parseFleetPeers validates the fleet flag group up front, before any
+// listener or state directory is touched: every member address must be
+// syntactically host:port, the membership must be duplicate-free, and
+// this node's own -peer-listen must appear in it (every member ships
+// the byte-identical list, or the rings disagree about ownership).
+// Empty -peers with no -peer-listen means standalone; the parsed
+// membership is returned otherwise.
+func parseFleetPeers(peers, self string, vnodes, fanout int, gossip time.Duration) ([]string, error) {
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("-ring-vnodes %d: must be positive", vnodes)
+	}
+	if fanout <= 0 {
+		return nil, fmt.Errorf("-alert-fanout %d: must be positive", fanout)
+	}
+	if peers == "" {
+		if self != "" {
+			return nil, fmt.Errorf("-peer-listen needs -peers (the full fleet membership)")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("-peers needs -peer-listen (this node's own fleet address)")
+	}
+	if gossip <= 0 {
+		return nil, fmt.Errorf("-gossip-interval %v: must be > 0 when -peers is set", gossip)
+	}
+	list := strings.Split(peers, ",")
+	seen := make(map[string]bool, len(list))
+	selfListed := false
+	for i, p := range list {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-peers: empty member address")
+		}
+		host, port, err := net.SplitHostPort(p)
+		if err != nil || host == "" || port == "" {
+			return nil, fmt.Errorf("-peers: %q is not a host:port address", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("-peers: duplicate member %q", p)
+		}
+		seen[p] = true
+		list[i] = p
+		if p == self {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		return nil, fmt.Errorf("-peer-listen %q must appear in -peers (every member runs the same membership list)", self)
+	}
+	return list, nil
 }
 
 // loadOrCreateLimiter restores a snapshot when present — whichever

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Fleet alerts: when one gateway shard removes a host, it broadcasts an
+// Alert so every other shard denies that host too — the cooperative
+// containment of Shakkottai/Srikant's patch-vs-worm race, where the
+// defense must spread faster than the worm. Alerts are limiter inputs
+// exactly like observations: applying one is journaled through the
+// Journal hook and serialized into snapshots, so a crashed shard
+// recovers its full immunization set and can re-serve it to peers.
+
+// Alert is one removal decision disseminated across the fleet. The
+// (Origin, Seq) pair identifies it globally: Origin is the originating
+// gateway's hashed identity and Seq its per-origin sequence number,
+// assigned contiguously from 1 — which is what lets peers summarize
+// what they hold as one "contiguous max" per origin during anti-entropy
+// sync.
+type Alert struct {
+	// Origin is the originating gateway's 64-bit identity hash.
+	Origin uint64
+	// Seq numbers the origin's alerts contiguously from 1.
+	Seq uint64
+	// Src is the removed host.
+	Src uint32
+	// UnixMs is the removal time at the origin, floored to the
+	// millisecond like every journaled timestamp.
+	UnixMs int64
+}
+
+// AlertID is an alert's global identity, the dedup key.
+type AlertID struct {
+	Origin uint64
+	Seq    uint64
+}
+
+// ID returns the alert's global identity.
+func (a Alert) ID() AlertID { return AlertID{Origin: a.Origin, Seq: a.Seq} }
+
+// alertBook is the per-limiter alert ledger, shared by both backends
+// and manipulated only under the owning limiter's mutex. The ledger is
+// cumulative across containment cycles: a cycle roll reinstates removed
+// hosts (paper step 4) but must NOT forget which alerts were already
+// applied, or stale gossip would re-remove every host each cycle.
+type alertBook struct {
+	alerts   map[AlertID]Alert
+	applied  int // == len(alerts); mirrors into Stats.TotalAlerts
+	removals int // alert applications that newly removed a host
+}
+
+// apply records the alert if it is new, reporting whether it was.
+func (b *alertBook) apply(a Alert) bool {
+	if _, dup := b.alerts[a.ID()]; dup {
+		return false
+	}
+	if b.alerts == nil {
+		b.alerts = make(map[AlertID]Alert)
+	}
+	b.alerts[a.ID()] = a
+	b.applied++
+	return true
+}
+
+// sorted returns the ledger ordered by (Origin, Seq) — application
+// order differs between peers that heard the same alerts along
+// different gossip paths, so every serialization and comparison uses
+// this canonical order instead.
+func (b *alertBook) sorted() []Alert {
+	out := make([]Alert, 0, len(b.alerts))
+	for _, a := range b.alerts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// alertJS is one alert's serialized form (see persist.go).
+type alertJS struct {
+	Origin uint64 `json:"origin"`
+	Seq    uint64 `json:"seq"`
+	Src    uint32 `json:"src"`
+	UnixMs int64  `json:"unixMs"`
+}
+
+// marshalAlerts converts the ledger to its canonical serialized form.
+func (b *alertBook) marshalAlerts() []alertJS {
+	sorted := b.sorted()
+	out := make([]alertJS, len(sorted))
+	for i, a := range sorted {
+		out[i] = alertJS{Origin: a.Origin, Seq: a.Seq, Src: a.Src, UnixMs: a.UnixMs}
+	}
+	return out
+}
+
+// restoreAlerts rebuilds the ledger from its serialized form.
+func (b *alertBook) restoreAlerts(alerts []alertJS, removals int) {
+	for _, a := range alerts {
+		b.apply(Alert{Origin: a.Origin, Seq: a.Seq, Src: a.Src, UnixMs: a.UnixMs})
+	}
+	b.removals = removals
+}
+
+// ApplyAlert applies one fleet alert to the exact limiter: if the alert
+// is new, it is journaled, the containment cycle is rolled to contain
+// the alert time, and the host is removed for the current cycle. It
+// reports whether the alert was new — false means a duplicate, which
+// changes nothing (the dedup that makes gossip idempotent). Like every
+// state-changing input it is journaled under the limiter mutex, so WAL
+// order equals apply order.
+func (l *Limiter) ApplyAlert(a Alert) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.alerts.alerts[a.ID()]; dup {
+		return false
+	}
+	if l.journal != nil {
+		l.journal.RecordAlert(a)
+	}
+	l.rollCycleLocked(time.UnixMilli(a.UnixMs).UTC())
+	l.alerts.apply(a)
+	h := l.hosts[a.Src]
+	if h == nil {
+		h = &hostState{}
+		l.hosts[a.Src] = h
+	}
+	if !h.removed {
+		h.removed = true
+		l.alerts.removals++
+	}
+	return true
+}
+
+// Alerts returns every alert the limiter has applied, in canonical
+// (Origin, Seq) order — the immunization set a recovering fleet node
+// reloads into its gossip state.
+func (l *Limiter) Alerts() []Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alerts.sorted()
+}
+
+// ApplyAlert applies one fleet alert to the sketch limiter; semantics
+// mirror (*Limiter).ApplyAlert exactly.
+func (l *SketchLimiter) ApplyAlert(a Alert) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.alerts.alerts[a.ID()]; dup {
+		return false
+	}
+	if l.journal != nil {
+		l.journal.RecordAlert(a)
+	}
+	l.rollCycleLocked(time.UnixMilli(a.UnixMs).UTC())
+	l.alerts.apply(a)
+	slot, ok := l.slots[a.Src]
+	if !ok {
+		slot = l.newSlotLocked(a.Src)
+	}
+	if !l.meta[slot].removed {
+		l.meta[slot].removed = true
+		l.alerts.removals++
+	}
+	return true
+}
+
+// Alerts returns every applied alert in canonical order; see
+// (*Limiter).Alerts.
+func (l *SketchLimiter) Alerts() []Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alerts.sorted()
+}

@@ -37,6 +37,12 @@ type ContainmentLimiter interface {
 	Config() LimiterConfig
 	// Snapshot returns the cumulative decision counters.
 	Snapshot() Stats
+	// ApplyAlert applies one fleet removal alert, reporting whether it
+	// was new; duplicates are no-ops (gossip idempotence).
+	ApplyAlert(a Alert) bool
+	// Alerts returns every applied alert in canonical (Origin, Seq)
+	// order — the immunization set.
+	Alerts() []Alert
 	// SetJournal attaches (or detaches) the WAL hook.
 	SetJournal(Journal)
 	// CheckpointState marshals the state and marks the journal cut

@@ -27,6 +27,12 @@ type Journal interface {
 	// FailureObserver. The exact *Limiter never emits these; replaying
 	// a stream that contains them requires a FailureObserver backend.
 	RecordFailure(src, dst uint32, unixMs int64)
+
+	// RecordAlert logs one fresh ApplyAlert call (duplicates are not
+	// recorded: they don't change state). Replaying the record through
+	// ApplyAlert rebuilds both the removal mark and the dedup ledger,
+	// which is what lets a crashed fleet node re-serve its alerts.
+	RecordAlert(a Alert)
 }
 
 // SetJournal attaches (or, with nil, detaches) a journal receiving all

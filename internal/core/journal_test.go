@@ -10,10 +10,11 @@ import (
 
 // recJournal records the logical input stream.
 type recJournal struct {
-	kinds []byte // 'o' or 'r'
-	srcs  []uint32
-	dsts  []uint32
-	times []int64
+	kinds  []byte // 'o', 'r', 'f' or 'a'
+	srcs   []uint32
+	dsts   []uint32
+	times  []int64
+	alerts []Alert // indexed by position among 'a' records
 }
 
 func (j *recJournal) RecordObserve(src, dst uint32, unixMs int64) {
@@ -37,14 +38,26 @@ func (j *recJournal) RecordFailure(src, dst uint32, unixMs int64) {
 	j.times = append(j.times, unixMs)
 }
 
+func (j *recJournal) RecordAlert(a Alert) {
+	j.kinds = append(j.kinds, 'a')
+	j.srcs = append(j.srcs, a.Src)
+	j.dsts = append(j.dsts, 0)
+	j.times = append(j.times, a.UnixMs)
+	j.alerts = append(j.alerts, a)
+}
+
 // replay applies the recorded stream to l.
 func (j *recJournal) replay(l *Limiter) {
+	ai := 0
 	for i, k := range j.kinds {
 		switch k {
 		case 'o':
 			l.Observe(j.srcs[i], j.dsts[i], time.UnixMilli(j.times[i]).UTC())
 		case 'r':
 			l.Reinstate(j.srcs[i])
+		case 'a':
+			l.ApplyAlert(j.alerts[ai])
+			ai++
 		}
 	}
 }

@@ -31,7 +31,12 @@ type limiterState struct {
 	TotalRemovals int             `json:"totalRemovals"`
 	TotalFlags    int             `json:"totalFlags"`
 	TotalDenied   int             `json:"totalDenied"`
+	AlertRemovals int             `json:"alertRemovals,omitempty"`
 	Hosts         []limiterHostJS `json:"hosts"`
+	// Alerts is the fleet immunization ledger in canonical (origin,
+	// seq) order; absent from pre-fleet snapshots, which decode to an
+	// empty ledger.
+	Alerts []alertJS `json:"alerts,omitempty"`
 }
 
 // limiterHostJS is one host's serialized counters.
@@ -81,7 +86,9 @@ func (l *Limiter) marshalStateLocked() ([]byte, error) {
 		TotalRemovals: l.totalRemovals,
 		TotalFlags:    l.totalFlags,
 		TotalDenied:   l.totalDenied,
+		AlertRemovals: l.alerts.removals,
 		Hosts:         make([]limiterHostJS, 0, len(l.hosts)),
+		Alerts:        l.alerts.marshalAlerts(),
 	}
 	for src, h := range l.hosts {
 		dsts := h.destinations(make([]uint32, 0, h.count()))
@@ -148,5 +155,6 @@ func RestoreLimiter(data []byte) (*Limiter, error) {
 		}
 		l.hosts[h.Src] = hs
 	}
+	l.alerts.restoreAlerts(st.Alerts, st.AlertRemovals)
 	return l, nil
 }

@@ -163,6 +163,7 @@ type Limiter struct {
 	epoch      time.Time // start of the current containment cycle
 	cycleIndex uint64
 	hosts      map[uint32]*hostState
+	alerts     alertBook // fleet immunization ledger; see alert.go
 
 	// cumulative statistics across all cycles
 	totalObserved int
@@ -326,6 +327,13 @@ type Stats struct {
 	// failure threshold (a subset of TotalRemovals). Always zero for
 	// the exact backend.
 	FailureRemovals int
+	// TotalAlerts counts fleet alerts applied (duplicates excluded)
+	// across all cycles.
+	TotalAlerts int
+	// AlertRemovals counts alert applications that newly removed a host
+	// — separate from TotalRemovals, which tracks removals this
+	// limiter's own budget enforcement produced.
+	AlertRemovals int
 }
 
 // Snapshot returns the current statistics.
@@ -338,6 +346,8 @@ func (l *Limiter) Snapshot() Stats {
 		TotalRemovals: l.totalRemovals,
 		TotalFlags:    l.totalFlags,
 		TotalDenied:   l.totalDenied,
+		TotalAlerts:   l.alerts.applied,
+		AlertRemovals: l.alerts.removals,
 	}
 	for _, h := range l.hosts {
 		if h.removed {

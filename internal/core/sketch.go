@@ -214,6 +214,7 @@ type SketchLimiter struct {
 	meta       []sketchMeta      // indexed by slot
 	pool       [][]uint64        // register slabs, sketchSlabHosts hosts each
 	used       uint32            // slots handed out this cycle
+	alerts     alertBook         // fleet immunization ledger; see alert.go
 
 	totalObserved   int
 	totalRemovals   int
@@ -472,6 +473,8 @@ func (l *SketchLimiter) Snapshot() Stats {
 		TotalDenied:     l.totalDenied,
 		TotalFailures:   l.totalFailures,
 		FailureRemovals: l.failureRemovals,
+		TotalAlerts:     l.alerts.applied,
+		AlertRemovals:   l.alerts.removals,
 	}
 	for i := uint32(0); i < l.used; i++ {
 		if l.meta[i].removed {

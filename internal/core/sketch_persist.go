@@ -36,7 +36,9 @@ type sketchState struct {
 	TotalDenied     int            `json:"totalDenied"`
 	TotalFailures   int            `json:"totalFailures,omitempty"`
 	FailureRemovals int            `json:"failureRemovals,omitempty"`
+	AlertRemovals   int            `json:"alertRemovals,omitempty"`
 	Hosts           []sketchHostJS `json:"hosts"`
+	Alerts          []alertJS      `json:"alerts,omitempty"`
 }
 
 type sketchHostJS struct {
@@ -115,7 +117,9 @@ func (l *SketchLimiter) marshalStateLocked() ([]byte, error) {
 		TotalDenied:     l.totalDenied,
 		TotalFailures:   l.totalFailures,
 		FailureRemovals: l.failureRemovals,
+		AlertRemovals:   l.alerts.removals,
 		Hosts:           make([]sketchHostJS, 0, len(l.slots)),
+		Alerts:          l.alerts.marshalAlerts(),
 	}
 	for src, slot := range l.slots {
 		regs := l.regs(slot)
@@ -187,6 +191,7 @@ func RestoreSketchLimiter(data []byte) (*SketchLimiter, error) {
 		}
 		l.meta[slot] = sketchMeta{set: set, fset: fset, removed: h.Removed, flagged: h.Flagged}
 	}
+	l.alerts.restoreAlerts(st.Alerts, st.AlertRemovals)
 	return l, nil
 }
 

@@ -34,16 +34,28 @@ var crashStart = time.UnixMilli(1_800_000_000_000).UTC()
 // crashInput is one logical limiter input. All timestamps are whole
 // milliseconds so the shadow limiter and WAL replay agree exactly.
 type crashInput struct {
-	reinstate bool
-	src, dst  uint32
-	atMs      int64 // offset from crashStart
+	reinstate   bool
+	alert       bool
+	origin, seq uint64 // alert only
+	src, dst    uint32
+	atMs        int64 // offset from crashStart
+}
+
+// asAlert builds the fleet alert a crashInput with alert=true encodes.
+func (c crashInput) asAlert() core.Alert {
+	return core.Alert{
+		Origin: c.origin, Seq: c.seq, Src: c.src,
+		UnixMs: crashStart.UnixMilli() + c.atMs,
+	}
 }
 
 // crashScript is the deterministic workload: repeats, denials,
-// reinstates and two cycle rolls, with group commits and a snapshot
-// rotation at fixed points (see driveScript). Every input journals
-// exactly one record: observes always do, and each reinstate targets a
-// source that is removed at that point in the script.
+// reinstates, fleet alerts and two cycle rolls, with group commits and
+// a snapshot rotation at fixed points (see driveScript). Every input
+// journals exactly one record: observes always do, each reinstate
+// targets a source that is removed at that point in the script, and
+// each alert carries a fresh (origin, seq) — the shadow pass asserts
+// both.
 func crashScript() []crashInput {
 	var in []crashInput
 	ms := int64(0)
@@ -55,13 +67,19 @@ func crashScript() []crashInput {
 		in = append(in, crashInput{reinstate: true, src: src, atMs: ms})
 		ms += 7
 	}
+	alr := func(origin, seq uint64, src uint32) {
+		in = append(in, crashInput{alert: true, origin: origin, seq: seq, src: src, atMs: ms})
+		ms += 7
+	}
 	// Cycle 0: host 1 burns its budget (dup dst 11 is free), is denied,
-	// then reinstated; host 2 stays under.
+	// then reinstated; host 2 stays under. A peer alert removes host 4,
+	// which this gateway has never observed.
 	obs(1, 10)
 	obs(1, 11)
 	obs(1, 11)
 	obs(1, 12)
 	obs(2, 20)
+	alr(100, 1, 4)
 	obs(1, 13) // removal
 	obs(1, 14) // denied
 	rei(1)
@@ -72,13 +90,15 @@ func crashScript() []crashInput {
 	obs(3, 30)
 	obs(1, 16)
 	obs(1, 17)
+	alr(100, 2, 2) // alert removal of a locally known, under-budget host
 	obs(1, 18)
 	obs(1, 19) // removal again, new cycle budget
-	obs(2, 22)
+	obs(2, 22) // denied via alert removal
 	// Cycle 2:
 	ms = 1100
 	obs(1, 40)
-	obs(2, 41)
+	obs(2, 41) // allowed again: removal marks reset at the roll
+	alr(200, 1, 5)
 	obs(3, 42)
 	obs(3, 43)
 	return in
@@ -91,9 +111,12 @@ func crashScript() []crashInput {
 func driveScript(s *Store, in []crashInput) {
 	l := s.Limiter()
 	for i, c := range in {
-		if c.reinstate {
+		switch {
+		case c.reinstate:
 			l.Reinstate(c.src)
-		} else {
+		case c.alert:
+			l.ApplyAlert(c.asAlert())
+		default:
 			l.Observe(c.src, c.dst, crashStart.Add(time.Duration(c.atMs)*time.Millisecond))
 		}
 		if (i+1)%5 == 0 {
@@ -125,11 +148,16 @@ func shadowStates(t *testing.T, in []crashInput) [][]byte {
 	}
 	snap()
 	for _, c := range in {
-		if c.reinstate {
+		switch {
+		case c.reinstate:
 			if !l.Reinstate(c.src) {
 				t.Fatalf("script bug: reinstate of %d is a no-op and would not journal", c.src)
 			}
-		} else {
+		case c.alert:
+			if !l.ApplyAlert(c.asAlert()) {
+				t.Fatalf("script bug: alert (%d,%d) is a duplicate and would not journal", c.origin, c.seq)
+			}
+		default:
 			l.Observe(c.src, c.dst, crashStart.Add(time.Duration(c.atMs)*time.Millisecond))
 		}
 		snap()
@@ -291,6 +319,65 @@ func matchPrefix(states [][]byte, got []byte) int {
 		}
 	}
 	return -1
+}
+
+// TestCrashRecoveredStoreReservesAlerts pins the fleet-facing recovery
+// contract: after a crash, the reopened store re-serves exactly the
+// alerts it had durably applied — the ledger peers sync digests
+// against — rejects them as duplicates, and does not refund the
+// removals they caused.
+func TestCrashRecoveredStoreReservesAlerts(t *testing.T) {
+	in := crashScript()
+	for _, seed := range crashSeeds(t) {
+		inj := faultfs.NewInjector(faultfs.Profile{}, seed)
+		mem := faultfs.NewMem(inj)
+		s, err := Open(Options{FS: mem}, crashCfg, crashStart)
+		if err != nil {
+			t.Fatalf("seed %d: Open: %v", seed, err)
+		}
+		driveScript(s, in)
+		want := s.Limiter().Alerts()
+		if len(want) != 3 {
+			t.Fatalf("seed %d: script applied %d alerts, want 3", seed, len(want))
+		}
+
+		// driveScript ends with a Sync, so every alert is durable; the
+		// crash tears only state written after that point.
+		mem.Crash()
+		mem.Reopen()
+		r, err := Open(Options{FS: mem}, crashCfg, crashStart)
+		if err != nil {
+			t.Fatalf("seed %d: recovery Open: %v", seed, err)
+		}
+		got := r.Limiter().Alerts()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: recovered %d alerts, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: alert %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+		before := r.Limiter().Snapshot()
+		for _, c := range in {
+			if !c.alert {
+				continue
+			}
+			if r.Limiter().ApplyAlert(c.asAlert()) {
+				t.Fatalf("seed %d: recovered store re-applied alert (%d,%d)", seed, c.origin, c.seq)
+			}
+		}
+		after := r.Limiter().Snapshot()
+		if after.AlertRemovals != before.AlertRemovals {
+			t.Fatalf("seed %d: duplicate alerts changed removal count %d → %d",
+				seed, before.AlertRemovals, after.AlertRemovals)
+		}
+		// Host 5 was alert-removed in the final cycle: the removal itself
+		// must survive recovery, not just the ledger entry.
+		if !r.Limiter().Removed(5) {
+			t.Fatalf("seed %d: recovery refunded the alert removal of host 5", seed)
+		}
+	}
 }
 
 // TestCrashRecoveryNeverFailsOnCorruptTail doubles down on the

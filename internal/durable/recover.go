@@ -201,6 +201,10 @@ func replaySegments(fsys faultfs.FS, limiter core.ContainmentLimiter, sc *dirSca
 			}
 		case recReinstate:
 			limiter.Reinstate(r.src)
+		case recAlert:
+			limiter.ApplyAlert(core.Alert{
+				Origin: r.origin, Seq: r.seq, Src: r.src, UnixMs: r.unixMs,
+			})
 		}
 	}
 

@@ -236,6 +236,16 @@ func (s *Store) RecordReinstate(src uint32) {
 	s.bufMu.Unlock()
 }
 
+// RecordAlert implements core.Journal: fleet alerts buffer with the
+// same hot-path discipline as observations.
+func (s *Store) RecordAlert(a core.Alert) {
+	s.bufMu.Lock()
+	s.pending = appendAlert(s.pending, a)
+	s.pendingRecs++
+	s.appended++
+	s.bufMu.Unlock()
+}
+
 // Appended returns the number of records journaled since Open.
 func (s *Store) Appended() uint64 {
 	s.bufMu.Lock()

@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"wormcontain/internal/core"
 )
 
 // Every WAL record and every snapshot is framed the same way:
@@ -44,6 +46,7 @@ const (
 	recObserve   byte = 1 // [kind u8][src u32][dst u32][unixMs u64] = 17 bytes
 	recReinstate byte = 2 // [kind u8][src u32] = 5 bytes
 	recFailure   byte = 3 // layout identical to recObserve; sketch backend only
+	recAlert     byte = 4 // [kind u8][src u32][origin u64][seq u64][unixMs u64] = 29 bytes
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -88,12 +91,28 @@ func appendReinstate(b []byte, src uint32) []byte {
 	return appendFrame(b, p[:])
 }
 
+// appendAlert appends one framed fleet-alert record to b. Alerts are
+// limiter inputs like observations: journaling the (origin, seq, src,
+// time) tuple is enough for replay to rebuild both the removal mark
+// and the dedup ledger a recovering fleet node re-serves to peers.
+func appendAlert(b []byte, a core.Alert) []byte {
+	var p [29]byte
+	p[0] = recAlert
+	binary.LittleEndian.PutUint32(p[1:5], a.Src)
+	binary.LittleEndian.PutUint64(p[5:13], a.Origin)
+	binary.LittleEndian.PutUint64(p[13:21], a.Seq)
+	binary.LittleEndian.PutUint64(p[21:29], uint64(a.UnixMs))
+	return appendFrame(b, p[:])
+}
+
 // walRecord is one decoded WAL record.
 type walRecord struct {
 	kind   byte
 	src    uint32
 	dst    uint32 // recObserve/recFailure only
-	unixMs int64  // recObserve/recFailure only
+	unixMs int64  // recObserve/recFailure/recAlert only
+	origin uint64 // recAlert only
+	seq    uint64 // recAlert only
 }
 
 // parseRecord decodes one payload, strictly: wrong lengths and unknown
@@ -118,6 +137,17 @@ func parseRecord(p []byte) (walRecord, bool) {
 			return walRecord{}, false
 		}
 		return walRecord{kind: recReinstate, src: binary.LittleEndian.Uint32(p[1:5])}, true
+	case recAlert:
+		if len(p) != 29 {
+			return walRecord{}, false
+		}
+		return walRecord{
+			kind:   recAlert,
+			src:    binary.LittleEndian.Uint32(p[1:5]),
+			origin: binary.LittleEndian.Uint64(p[5:13]),
+			seq:    binary.LittleEndian.Uint64(p[13:21]),
+			unixMs: int64(binary.LittleEndian.Uint64(p[21:29])),
+		}, true
 	default:
 		return walRecord{}, false
 	}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"wormcontain/internal/core"
+)
+
+// ErrPartitioned is returned by the in-memory transport for any
+// exchange crossing a partition boundary.
+var ErrPartitioned = fmt.Errorf("fleet: link partitioned")
+
+// MemTransport wires fleet nodes together in-process: exchanges are
+// synchronous method calls, so a single-goroutine driver (the
+// convergence experiments, the chaos tests) is fully deterministic.
+// Partitions are explicit — Partition splits the membership into
+// groups and every cross-group exchange fails with ErrPartitioned
+// until Heal.
+type MemTransport struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	groupOf map[string]int // empty map = fully connected
+}
+
+// NewMemTransport returns an empty, fully connected transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{
+		nodes:   make(map[string]*Node),
+		groupOf: make(map[string]int),
+	}
+}
+
+// Attach registers a node under its member name.
+func (t *MemTransport) Attach(n *Node) {
+	t.mu.Lock()
+	t.nodes[n.Self()] = n
+	t.mu.Unlock()
+}
+
+// For returns the Transport view a specific member uses — sends are
+// attributed to from, so partitions can be enforced per link.
+func (t *MemTransport) For(from string) Transport {
+	return &memLink{t: t, from: from}
+}
+
+// Partition splits the fleet into the given groups; members absent
+// from every group form an implicit final group. Any exchange between
+// different groups fails until Heal.
+func (t *MemTransport) Partition(groups ...[]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.groupOf = make(map[string]int)
+	for gi, g := range groups {
+		for _, m := range g {
+			t.groupOf[m] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partition boundaries.
+func (t *MemTransport) Heal() {
+	t.mu.Lock()
+	t.groupOf = make(map[string]int)
+	t.mu.Unlock()
+}
+
+// lookup resolves the destination node and checks the partition.
+func (t *MemTransport) lookup(from, to string) (*Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[to]
+	if n == nil {
+		return nil, fmt.Errorf("fleet: unknown peer %q", to)
+	}
+	if len(t.groupOf) > 0 && t.groupOf[from] != t.groupOf[to] {
+		return nil, ErrPartitioned
+	}
+	return n, nil
+}
+
+// memLink is one member's view of the transport.
+type memLink struct {
+	t    *MemTransport
+	from string
+}
+
+// Observe implements Transport.
+func (l *memLink) Observe(peer string, src, dst uint32, unixMs int64) (core.Decision, error) {
+	n, err := l.t.lookup(l.from, peer)
+	if err != nil {
+		return 0, err
+	}
+	return n.HandleObserve(src, dst, unixMs), nil
+}
+
+// SendAlerts implements Transport.
+func (l *memLink) SendAlerts(peer string, alerts []core.Alert) (int, error) {
+	n, err := l.t.lookup(l.from, peer)
+	if err != nil {
+		return 0, err
+	}
+	return n.HandleAlerts(alerts), nil
+}
+
+// SyncDigest implements Transport.
+func (l *memLink) SyncDigest(peer string, digest []OriginMax) ([]core.Alert, error) {
+	n, err := l.t.lookup(l.from, peer)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleDigest(digest), nil
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"wormcontain/internal/core"
+)
+
+// Fleet wire protocol (WFP/1): every message is one length-prefixed
+// frame
+//
+//	[u16 LE payload length][payload]
+//
+// whose payload opens with a one-byte message type. Three exchanges
+// exist, each a single request frame answered by a single response
+// frame on a persistent per-peer connection:
+//
+//	observe  [mObserve u8][src u32][dst u32][unixMs u64]  → [mVerdict u8][decision u8]
+//	alerts   [mAlerts  u8][n u16][n × alert]              → [mFresh   u8][fresh u16]
+//	digest   [mDigest  u8][n u16][n × (origin u64, max u64)] → [mAlerts u8][n u16][n × alert]
+//
+// An alert is 28 bytes: [origin u64][seq u64][src u32][unixMs u64].
+// The encoding is append-style into caller-owned buffers and the
+// decoder reads into a reusable scratch buffer, so the per-observation
+// forward path allocates nothing — the same discipline the gateway's
+// WCP/1 parser follows.
+const (
+	mObserve byte = 1
+	mAlerts  byte = 2
+	mDigest  byte = 3
+	mVerdict byte = 4
+	mFresh   byte = 5
+)
+
+// Frame geometry.
+const (
+	frameLenBytes = 2
+	alertWire     = 28
+	originMaxWire = 16
+	observeWire   = 17 // type + src + dst + unixMs
+	// maxFramePayload is the largest payload a u16 length can carry.
+	maxFramePayload = 1<<16 - 1
+	// maxAlertsPerFrame bounds one alert batch to a single frame.
+	maxAlertsPerFrame = (maxFramePayload - 3) / alertWire
+	// maxOriginsPerFrame bounds one digest to a single frame.
+	maxOriginsPerFrame = (maxFramePayload - 3) / originMaxWire
+)
+
+// OriginMax is one digest entry: the highest contiguous sequence this
+// node holds for an origin. Alerts are numbered contiguously from 1
+// per origin, so (origin, max) summarizes the node's entire holding
+// from that origin in 16 bytes — the anti-entropy exchange is O(fleet
+// size), not O(alert count).
+type OriginMax struct {
+	Origin uint64
+	MaxSeq uint64
+}
+
+// appendU16Frame appends a frame header for a payload of length n.
+func appendU16Frame(b []byte, n int) []byte {
+	var h [frameLenBytes]byte
+	binary.LittleEndian.PutUint16(h[:], uint16(n))
+	return append(b, h[:]...)
+}
+
+// appendObserveFrame appends a complete observe request frame.
+func appendObserveFrame(b []byte, src, dst uint32, unixMs int64) []byte {
+	b = appendU16Frame(b, observeWire)
+	var p [observeWire]byte
+	p[0] = mObserve
+	binary.LittleEndian.PutUint32(p[1:5], src)
+	binary.LittleEndian.PutUint32(p[5:9], dst)
+	binary.LittleEndian.PutUint64(p[9:17], uint64(unixMs))
+	return append(b, p[:]...)
+}
+
+// appendVerdictFrame appends a complete verdict response frame.
+func appendVerdictFrame(b []byte, d core.Decision) []byte {
+	b = appendU16Frame(b, 2)
+	return append(b, mVerdict, byte(d))
+}
+
+// appendAlert appends one 28-byte wire alert.
+func appendAlert(b []byte, a core.Alert) []byte {
+	var p [alertWire]byte
+	binary.LittleEndian.PutUint64(p[0:8], a.Origin)
+	binary.LittleEndian.PutUint64(p[8:16], a.Seq)
+	binary.LittleEndian.PutUint32(p[16:20], a.Src)
+	binary.LittleEndian.PutUint64(p[20:28], uint64(a.UnixMs))
+	return append(b, p[:]...)
+}
+
+// parseAlert decodes one 28-byte wire alert.
+func parseAlert(p []byte) core.Alert {
+	return core.Alert{
+		Origin: binary.LittleEndian.Uint64(p[0:8]),
+		Seq:    binary.LittleEndian.Uint64(p[8:16]),
+		Src:    binary.LittleEndian.Uint32(p[16:20]),
+		UnixMs: int64(binary.LittleEndian.Uint64(p[20:28])),
+	}
+}
+
+// appendAlertsFrame appends a complete alert batch frame. The caller
+// bounds len(alerts) to maxAlertsPerFrame.
+func appendAlertsFrame(b []byte, alerts []core.Alert) []byte {
+	b = appendU16Frame(b, 3+alertWire*len(alerts))
+	var h [3]byte
+	h[0] = mAlerts
+	binary.LittleEndian.PutUint16(h[1:3], uint16(len(alerts)))
+	b = append(b, h[:]...)
+	for _, a := range alerts {
+		b = appendAlert(b, a)
+	}
+	return b
+}
+
+// appendFreshFrame appends a complete fresh-count response frame.
+func appendFreshFrame(b []byte, fresh int) []byte {
+	b = appendU16Frame(b, 3)
+	var p [3]byte
+	p[0] = mFresh
+	binary.LittleEndian.PutUint16(p[1:3], uint16(fresh))
+	return append(b, p[:]...)
+}
+
+// appendDigestFrame appends a complete digest request frame. The caller
+// bounds len(digest) to maxOriginsPerFrame.
+func appendDigestFrame(b []byte, digest []OriginMax) []byte {
+	b = appendU16Frame(b, 3+originMaxWire*len(digest))
+	var h [3]byte
+	h[0] = mDigest
+	binary.LittleEndian.PutUint16(h[1:3], uint16(len(digest)))
+	b = append(b, h[:]...)
+	for _, d := range digest {
+		var p [originMaxWire]byte
+		binary.LittleEndian.PutUint64(p[0:8], d.Origin)
+		binary.LittleEndian.PutUint64(p[8:16], d.MaxSeq)
+		b = append(b, p[:]...)
+	}
+	return b
+}
+
+// readFrame reads one frame payload into buf (growing it as needed)
+// and returns the payload slice. The returned slice aliases buf and is
+// valid until the next call with the same buffer.
+func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var h [frameLenBytes]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint16(h[:]))
+	if n == 0 {
+		return nil, buf, fmt.Errorf("fleet: zero-length frame")
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return nil, buf, err
+	}
+	return buf[:n], buf, nil
+}
+
+// parseObserve decodes an observe request payload (sans type byte
+// dispatch — the caller already read payload[0]).
+func parseObserve(p []byte) (src, dst uint32, unixMs int64, err error) {
+	if len(p) != observeWire {
+		return 0, 0, 0, fmt.Errorf("fleet: observe payload %d bytes, want %d", len(p), observeWire)
+	}
+	return binary.LittleEndian.Uint32(p[1:5]),
+		binary.LittleEndian.Uint32(p[5:9]),
+		int64(binary.LittleEndian.Uint64(p[9:17])), nil
+}
+
+// parseVerdict decodes a verdict response payload.
+func parseVerdict(p []byte) (core.Decision, error) {
+	if len(p) != 2 || p[0] != mVerdict {
+		return 0, fmt.Errorf("fleet: bad verdict frame (%d bytes)", len(p))
+	}
+	d := core.Decision(p[1])
+	switch d {
+	case core.Allow, core.AllowAndCheck, core.Deny:
+		return d, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown verdict %d", p[1])
+	}
+}
+
+// parseAlerts decodes an alert batch payload, appending into out.
+func parseAlerts(p []byte, out []core.Alert) ([]core.Alert, error) {
+	if len(p) < 3 {
+		return out, fmt.Errorf("fleet: alert frame %d bytes, want >= 3", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[1:3]))
+	body := p[3:]
+	if len(body) != n*alertWire {
+		return out, fmt.Errorf("fleet: alert frame count %d does not match %d payload bytes", n, len(body))
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, parseAlert(body[i*alertWire:]))
+	}
+	return out, nil
+}
+
+// parseFresh decodes a fresh-count response payload.
+func parseFresh(p []byte) (int, error) {
+	if len(p) != 3 || p[0] != mFresh {
+		return 0, fmt.Errorf("fleet: bad fresh frame (%d bytes)", len(p))
+	}
+	return int(binary.LittleEndian.Uint16(p[1:3])), nil
+}
+
+// parseDigest decodes a digest request payload.
+func parseDigest(p []byte, out []OriginMax) ([]OriginMax, error) {
+	if len(p) < 3 {
+		return out, fmt.Errorf("fleet: digest frame %d bytes, want >= 3", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[1:3]))
+	body := p[3:]
+	if len(body) != n*originMaxWire {
+		return out, fmt.Errorf("fleet: digest frame count %d does not match %d payload bytes", n, len(body))
+	}
+	for i := 0; i < n; i++ {
+		e := body[i*originMaxWire:]
+		out = append(out, OriginMax{
+			Origin: binary.LittleEndian.Uint64(e[0:8]),
+			MaxSeq: binary.LittleEndian.Uint64(e[8:16]),
+		})
+	}
+	return out, nil
+}

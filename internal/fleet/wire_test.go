@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"wormcontain/internal/core"
+)
+
+func TestWireObserveRoundTrip(t *testing.T) {
+	frame := appendObserveFrame(nil, 42, 1234, 1_800_000_000_123)
+	payload, _, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != mObserve {
+		t.Fatalf("type = %d, want %d", payload[0], mObserve)
+	}
+	src, dst, unixMs, err := parseObserve(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 42 || dst != 1234 || unixMs != 1_800_000_000_123 {
+		t.Fatalf("round trip = (%d, %d, %d)", src, dst, unixMs)
+	}
+}
+
+func TestWireVerdictRoundTrip(t *testing.T) {
+	for _, d := range []core.Decision{core.Allow, core.AllowAndCheck, core.Deny} {
+		frame := appendVerdictFrame(nil, d)
+		payload, _, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parseVerdict(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != d {
+			t.Fatalf("verdict %v round-tripped to %v", d, got)
+		}
+	}
+	if _, err := parseVerdict([]byte{mVerdict, 99}); err == nil {
+		t.Fatal("unknown verdict accepted")
+	}
+}
+
+func TestWireAlertsRoundTrip(t *testing.T) {
+	alerts := []core.Alert{
+		{Origin: 1, Seq: 1, Src: 10, UnixMs: 1000},
+		{Origin: 2, Seq: 7, Src: 20, UnixMs: 2000},
+		{Origin: 0xffffffffffffffff, Seq: 0xfffffffffffffffe, Src: 0xffffffff, UnixMs: -5},
+	}
+	frame := appendAlertsFrame(nil, alerts)
+	payload, _, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseAlerts(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(alerts) {
+		t.Fatalf("decoded %d alerts, want %d", len(got), len(alerts))
+	}
+	for i := range alerts {
+		if got[i] != alerts[i] {
+			t.Fatalf("alert %d = %+v, want %+v", i, got[i], alerts[i])
+		}
+	}
+	// Empty batch is legal (a digest response with nothing missing).
+	frame = appendAlertsFrame(nil, nil)
+	payload, _, err = readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := parseAlerts(payload, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch decode = %v, %v", got, err)
+	}
+}
+
+func TestWireDigestRoundTrip(t *testing.T) {
+	digest := []OriginMax{{Origin: 3, MaxSeq: 9}, {Origin: 8, MaxSeq: 1}}
+	frame := appendDigestFrame(nil, digest)
+	payload, _, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseDigest(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != digest[0] || got[1] != digest[1] {
+		t.Fatalf("digest round trip = %+v", got)
+	}
+}
+
+func TestWireRejectsMalformedFrames(t *testing.T) {
+	// Zero-length frame.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0}), nil); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Truncated payload.
+	frame := appendObserveFrame(nil, 1, 2, 3)
+	if _, _, err := readFrame(bytes.NewReader(frame[:len(frame)-3]), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Count that disagrees with the payload size.
+	bad := appendAlertsFrame(nil, []core.Alert{{Origin: 1, Seq: 1}})
+	bad[frameLenBytes+1] = 7 // claim 7 alerts, carry 1
+	payload, _, err := readFrame(bytes.NewReader(bad), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseAlerts(payload, nil); err == nil {
+		t.Fatal("alert count mismatch accepted")
+	}
+	// Wrong observe length.
+	if _, _, _, err := parseObserve([]byte{mObserve, 1, 2}); err == nil {
+		t.Fatal("short observe accepted")
+	}
+	if _, err := parseFresh([]byte{mFresh}); err == nil {
+		t.Fatal("short fresh accepted")
+	}
+	if _, err := parseDigest([]byte{mDigest, 1, 0, 0xaa}, nil); err == nil {
+		t.Fatal("digest size mismatch accepted")
+	}
+}
+
+func TestWireEncodeAllocFree(t *testing.T) {
+	// The forward hot path encodes one observe frame per connection;
+	// with a reused buffer that must not allocate.
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendObserveFrame(buf[:0], 7, 9, 1_800_000_000_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("observe encode allocates %.1f per op, want 0", allocs)
+	}
+	alerts := []core.Alert{{Origin: 1, Seq: 1, Src: 2, UnixMs: 3}}
+	abuf := make([]byte, 0, 64)
+	allocs = testing.AllocsPerRun(1000, func() {
+		abuf = appendAlertsFrame(abuf[:0], alerts)
+	})
+	if allocs != 0 {
+		t.Fatalf("alert encode allocates %.1f per op, want 0", allocs)
+	}
+}
