@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint chaos crash fleet-soak fuzz-smoke sketch-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare lint chaos crash fleet-soak fuzz-smoke sketch-smoke topo-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-json measures the telemetry, gateway and fleet benchmark suites
-# (including the durable-journal and sketch-backend variants of the
-# gateway decision hot path, and the fleet forward hot path) and records
-# name → ns/op, B/op, allocs/op in BENCH_PR7.json.
+# bench-json measures the telemetry, gateway, fleet and topology
+# benchmark suites (including the graph scan hot path, whose allocs/op
+# must record 0) and records name → ns/op, B/op, allocs/op in
+# BENCH_PR8.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -benchtime 1s \
-		./internal/telemetry ./internal/gateway ./internal/fleet
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json -benchtime 1s \
+		./internal/telemetry ./internal/gateway ./internal/fleet ./internal/topo
 
 # bench-compare re-measures the perf-critical benchmark suites (event
 # kernel, samplers, simulation engines, gateway hot path), records them
@@ -93,16 +93,27 @@ fleet-soak:
 sketch-smoke:
 	$(GO) test -run 'Sketch' -count=1 ./internal/experiments
 
+# The topology suite in smoke mode, matching the CI topo-smoke job:
+# graph-generation goldens, the spectral-threshold property tests, the
+# infection-tree validators, and the topology-containment artifact's
+# golden fingerprints plus worker invariance. Regenerate the goldens
+# only for an intentional sample-path change:
+#   go test -run TestTopo -update-topo ./internal/topo ./internal/experiments
+topo-smoke:
+	$(GO) test -run 'Topo' -count=1 ./internal/topo ./internal/sim ./internal/experiments
+
 # Ten seconds of native fuzzing per target, matching the CI fuzz-smoke
 # job.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrometheusWriter -fuzztime 10s ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz FuzzReportLine -fuzztime 10s ./internal/gateway
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/durable
+	$(GO) test -run '^$$' -fuzz FuzzAdjacencyParser -fuzztime 10s ./internal/topo
 
 # Coverage floors: the deployable network path (internal/gateway), the
-# durability layer (internal/durable) and the containment policy plus
-# sketch estimator (internal/core). CI fails below 88.8% / 85% / 94%.
+# durability layer (internal/durable), the containment policy plus
+# sketch estimator (internal/core) and the graph topology layer
+# (internal/topo). CI fails below 88.8% / 85% / 94% / 90%.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/gateway
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -119,6 +130,11 @@ cover:
 	echo "internal/core coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 94.0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 94% floor" >&2; exit 1; }
+	$(GO) test -count=1 -coverprofile=cover-topo.out ./internal/topo
+	@total=$$($(GO) tool cover -func=cover-topo.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/topo coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 90.0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% is below the 90% floor" >&2; exit 1; }
 
 lint:
 	@out=$$(gofmt -l .); \
@@ -129,4 +145,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos crash fleet-soak sketch-smoke cover bench
+ci: lint build test race chaos crash fleet-soak sketch-smoke topo-smoke cover bench

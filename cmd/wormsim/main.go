@@ -7,6 +7,14 @@
 //	wormsim -worm codered -m 10000 -rate 6 -seed 1 -path
 //	wormsim -v 120000 -i0 10 -m 10000 -rate 4000 -defense throttle
 //	wormsim -v 2000 -m 25 -rate 20 -runs 500 -workers 8
+//	wormsim -v 600 -topology scalefree -edge-rate -rate 0.3 -patch-rate 1 -defense none -horizon 2m
+//
+// With -topology the worm spreads over a graph instead of scanning the
+// address space: scans pick uniform neighbors from a deterministic
+// generated topology (tree, scalefree, smallworld; seeded by -topo-seed)
+// or an explicit adjacency file. -edge-rate scales each host's scan rate
+// by its degree, making -rate the per-edge contact rate β, whose
+// epidemic threshold sits at β/δ·λ₁ = 1 for the printed λ₁.
 //
 // With -runs N > 1 wormsim becomes a Monte-Carlo sweep: replication r
 // runs with RNG stream (-stream + r) and the replications fan out across
@@ -28,6 +36,7 @@ import (
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
 	"wormcontain/internal/stats"
+	"wormcontain/internal/topo"
 )
 
 func main() {
@@ -52,6 +61,12 @@ func run(args []string) error {
 		dutyOff   = fs.Duration("duty-off", 0, "stealth worm dormant phase")
 		patchRate = fs.Float64("patch-rate", 0, "per-infected-host patch rate (events/s)")
 		immunize  = fs.Float64("immunize-rate", 0, "per-susceptible immunization rate (events/s)")
+		topology  = fs.String("topology", "uniform", "propagation topology: uniform, tree, scalefree, smallworld, file")
+		topoSeed  = fs.Uint64("topo-seed", 0, "graph generation seed (0 = use -seed)")
+		topoDeg   = fs.Int("topo-degree", 3, "tree branching / scale-free attachments; small-world uses 2x this as ring degree")
+		topoRew   = fs.Float64("topo-rewire", 0.1, "small-world rewiring probability")
+		topoFile  = fs.String("topo-file", "", "adjacency file for -topology file (wormtopo v1 format)")
+		edgeRate  = fs.Bool("edge-rate", false, "scale each host's scan rate by its degree (per-edge rate beta = -rate)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		stream    = fs.Uint64("stream", 0, "random stream (first replication index)")
 		runs      = fs.Int("runs", 1, "Monte-Carlo replications (replication r uses stream + r)")
@@ -74,6 +89,60 @@ func run(args []string) error {
 	}
 	if *runs > 1 && *path {
 		return fmt.Errorf("-path prints a single sample path; drop it or use -runs 1")
+	}
+
+	// Graph topologies are built once and shared read-only by every
+	// replication; -v follows the graph when the graph fixes its own
+	// vertex count (-topology file).
+	gseed := *topoSeed
+	if gseed == 0 {
+		gseed = *seed
+	}
+	var graph *topo.Graph
+	switch *topology {
+	case "uniform":
+		if *topoFile != "" {
+			return fmt.Errorf("-topo-file requires -topology file")
+		}
+	case "tree", "scalefree", "smallworld":
+		var gen topo.Generator
+		switch *topology {
+		case "tree":
+			gen = topo.Tree{N: *v, Branching: *topoDeg}
+		case "scalefree":
+			gen = topo.ScaleFree{N: *v, Attach: *topoDeg}
+		case "smallworld":
+			gen = topo.SmallWorld{N: *v, K: 2 * *topoDeg, Rewire: *topoRew}
+		}
+		var err error
+		if graph, err = gen.Generate(gseed); err != nil {
+			return err
+		}
+	case "file":
+		if *topoFile == "" {
+			return fmt.Errorf("-topology file needs -topo-file")
+		}
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			return err
+		}
+		if graph, err = topo.ParseAdjacency(data); err != nil {
+			return err
+		}
+		*v = graph.N()
+	default:
+		return fmt.Errorf("unknown topology %q (uniform, tree, scalefree, smallworld, file)", *topology)
+	}
+	if graph != nil {
+		lambda1, _ := graph.SpectralRadius()
+		fmt.Printf("topology: %s  n=%d  edges=%d  mean degree %.2f  max degree %d  lambda1 %.4f\n",
+			*topology, graph.N(), graph.EdgeCount(), graph.MeanDegree(), graph.MaxDegree(), lambda1)
+		if *edgeRate {
+			fmt.Printf("edge-rate: beta=%.4g per edge, beta/delta*lambda1 threshold at rate %.4g\n",
+				*rate, 1/lambda1)
+		}
+	} else if *edgeRate {
+		return fmt.Errorf("-edge-rate needs a graph topology")
 	}
 
 	// Defenses are stateful (scan budgets, throttle queues, quarantine
@@ -105,6 +174,8 @@ func run(args []string) error {
 			MaxInfected:  *maxInf,
 			PatchRate:    *patchRate,
 			ImmunizeRate: *immunize,
+			Topology:     graph,
+			EdgeScanRate: *edgeRate,
 			Seed:         *seed,
 			Stream:       stream,
 			RecordPaths:  *path,

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"wormcontain/internal/topo"
 )
 
 // captureRun executes run(args) with stdout captured, returning the
@@ -121,6 +125,72 @@ func TestRunErrors(t *testing.T) {
 		{"-worm", "melissa"},
 		{"-defense", "firewall"},
 		{"-v", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestTopoRunGeneratedTopologies(t *testing.T) {
+	for _, top := range []string{"tree", "scalefree", "smallworld"} {
+		args := []string{"-v", "500", "-i0", "3", "-topology", top, "-edge-rate",
+			"-rate", "0.5", "-patch-rate", "1", "-defense", "none",
+			"-max-infected", "500", "-horizon", "30s", "-seed", "7"}
+		out := captureRun(t, args)
+		if !strings.Contains(out, "topology: "+top) || !strings.Contains(out, "lambda1") {
+			t.Errorf("%s: report missing topology header:\n%s", top, out)
+		}
+	}
+}
+
+func TestTopoRunAdjacencyFile(t *testing.T) {
+	g, err := topo.Tree{N: 40, Branching: 2}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "net.topo")
+	if err := os.WriteFile(file, topo.WriteAdjacency(g), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -v is overridden by the file's vertex count.
+	out := captureRun(t, []string{"-v", "9999", "-i0", "2", "-topology", "file",
+		"-topo-file", file, "-rate", "3", "-m", "2", "-horizon", "5s", "-seed", "2"})
+	if !strings.Contains(out, "n=40") {
+		t.Errorf("file topology did not fix the population:\n%s", out)
+	}
+}
+
+func TestTopoRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	base := []string{"-v", "400", "-i0", "3", "-topology", "smallworld",
+		"-edge-rate", "-rate", "0.4", "-patch-rate", "1", "-defense", "none",
+		"-max-infected", "400", "-horizon", "20s", "-seed", "11", "-runs", "12"}
+	ref := captureRun(t, append(base, "-workers", "1"))
+	if ref == "" {
+		t.Fatal("empty sweep report")
+	}
+	for _, workers := range []string{"3", "8"} {
+		got := captureRun(t, append(base, "-workers", workers))
+		if got != ref {
+			t.Errorf("workers=%s topology sweep differs:\n--- workers=1 ---\n%s\n--- workers=%s ---\n%s",
+				workers, ref, workers, got)
+		}
+	}
+}
+
+func TestTopoRunErrors(t *testing.T) {
+	cases := [][]string{
+		// Unknown topology name.
+		{"-v", "100", "-topology", "torus"},
+		// -topology file without a file.
+		{"-v", "100", "-topology", "file"},
+		// -topo-file without -topology file.
+		{"-v", "100", "-topo-file", "/nonexistent"},
+		// -edge-rate without a graph.
+		{"-v", "100", "-edge-rate", "-horizon", "1s"},
+		// Generator rejects a degenerate parameterization.
+		{"-v", "100", "-topology", "tree", "-topo-degree", "0"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-intrusiveness", "ablation-preference", "ablation-stealth",
 		"catalogue", "claims", "fig1", "fig10", "fig11", "fig12", "fig2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"fleet-convergence", "sketch-accuracy", "table1",
+		"fleet-convergence", "sketch-accuracy", "table1", "topology-containment",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -28,6 +28,7 @@ import (
 	"wormcontain/internal/rng"
 	"wormcontain/internal/stats"
 	"wormcontain/internal/telemetry"
+	"wormcontain/internal/topo"
 )
 
 // Status is a vulnerable host's epidemiological state.
@@ -83,6 +84,20 @@ type Config struct {
 	// ScannerFactory, when non-nil, supplies a fresh scanner per
 	// infected host (needed for stateful strategies such as hit lists).
 	ScannerFactory func() addr.Scanner
+	// Topology, when non-nil, switches target selection from address-
+	// space scanning to graph-neighbor scanning: host i's scans each
+	// probe a uniform random neighbor of vertex i in the graph
+	// (resolved to that host's address, so defenses still see real
+	// src/dst pairs). Requires Topology.N() == V and excludes Scanner/
+	// ScannerFactory. The graph is read-only during the run and may be
+	// shared across concurrent replications.
+	Topology *topo.Graph
+	// EdgeScanRate, in topology mode, scales each host's scan rate by
+	// its degree so every incident edge is probed at rate ScanRate.
+	// This is the contact-process parameterization of Draief/Ganesh/
+	// Massoulié: with per-edge rate β = ScanRate and recovery rate
+	// δ = PatchRate, the epidemic threshold sits at β/δ·λ₁ = 1.
+	EdgeScanRate bool
 	// Defense decides each scan's fate; nil means no defense.
 	Defense defense.Defense
 	// Horizon stops the simulation at this virtual time; 0 means run
@@ -167,6 +182,16 @@ func (c *Config) validate() error {
 		if c.Horizon <= 0 {
 			return fmt.Errorf("sim: background traffic requires a positive horizon")
 		}
+	}
+	if c.Topology != nil {
+		if got := c.Topology.N(); got != c.V {
+			return fmt.Errorf("sim: topology has %d vertices, population has %d", got, c.V)
+		}
+		if c.Scanner != nil || c.ScannerFactory != nil {
+			return fmt.Errorf("sim: topology mode excludes Scanner/ScannerFactory")
+		}
+	} else if c.EdgeScanRate {
+		return fmt.Errorf("sim: EdgeScanRate requires a Topology")
 	}
 	if c.Scanner == nil && c.ScannerFactory == nil {
 		c.Scanner = addr.Uniform{}
@@ -504,14 +529,38 @@ func (e *engine) recordPaths() {
 	e.res.ActiveSeries.Record(now, float64(e.active))
 }
 
+// scanRateFor returns host i's scan rate: the configured rate, scaled
+// by i's graph degree under the contact-process parameterization. A
+// zero return marks a host that can never scan (isolated vertex).
+func (e *engine) scanRateFor(i int) float64 {
+	g := e.cfg.Topology
+	if g == nil {
+		return e.cfg.ScanRate
+	}
+	deg := g.Degree(i)
+	if deg == 0 {
+		return 0
+	}
+	if e.cfg.EdgeScanRate {
+		return e.cfg.ScanRate * float64(deg)
+	}
+	return e.cfg.ScanRate
+}
+
 // scheduleNextScan books host i's next scan attempt after an exponential
 // inter-scan time, deferring attempts that land in a stealth worm's
-// dormant window to the next active phase.
+// dormant window to the next active phase. Isolated vertices of a graph
+// topology have no targets and are never scheduled: they stay infected
+// but inert until a countermeasure retires them.
 func (e *engine) scheduleNextScan(i int) {
 	if e.guardEvents() {
 		return
 	}
-	delay := time.Duration(rng.Exponential(e.src, e.cfg.ScanRate) * float64(time.Second))
+	rate := e.scanRateFor(i)
+	if rate <= 0 {
+		return
+	}
+	delay := time.Duration(rng.Exponential(e.src, rate) * float64(time.Second))
 	at := e.sim.Now() + delay
 	if dc := e.cfg.DutyCycle; dc != nil {
 		at = dc.nextActive(e.infectedAt[i], at)
@@ -539,7 +588,19 @@ func (e *engine) scanAttempt(i int) {
 	srcIP := e.pop.Addr(i)
 	e.res.TotalScans++
 
-	dst := e.scannerFor(i).Next(e.src, srcIP)
+	// Target selection: a uniform random graph neighbor in topology
+	// mode (two offset loads into the CSR slab, no allocation), the
+	// configured address-space scanner otherwise.
+	var dst addr.IP
+	if g := e.cfg.Topology; g != nil {
+		j, ok := g.Sample(e.src, i)
+		if !ok {
+			return // isolated vertex: nothing to scan
+		}
+		dst = e.pop.Addr(int(j))
+	} else {
+		dst = e.scannerFor(i).Next(e.src, srcIP)
+	}
 	v := e.cfg.Defense.OnScan(srcIP, dst, now)
 	switch v.Action {
 	case defense.Permit:
@@ -578,7 +639,7 @@ func (e *engine) scanAttempt(i int) {
 				if e.guardEvents() {
 					return
 				}
-				retry := at + time.Duration(rng.Exponential(e.src, e.cfg.ScanRate)*float64(time.Second))
+				retry := at + time.Duration(rng.Exponential(e.src, e.scanRateFor(i))*float64(time.Second))
 				e.sim.ScheduleArgAt(retry, e.scanFn, i)
 				return
 			}

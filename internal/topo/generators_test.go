@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// The generator golden suite pins every topology family's canonical
+// CSR fingerprint at fixed parameters and seeds. Any change to a
+// generator's draw sequence — or to the CSR builder — fails here
+// before it silently re-baselines every topology experiment.
+// Regenerate with -update-topo only for an intentional change.
+var updateTopoGolden = flag.Bool("update-topo", false, "rewrite testdata/golden_graphs.json")
+
+const topoGoldenPath = "testdata/golden_graphs.json"
+
+// goldenGenerators is the fixed parameter grid the golden file covers.
+func goldenGenerators() []Generator {
+	return []Generator{
+		Tree{N: 600, Branching: 3},
+		ScaleFree{N: 600, Attach: 3},
+		SmallWorld{N: 600, K: 6, Rewire: 0.1},
+	}
+}
+
+// TestTopoGeneratorShapes checks each family's basic structural
+// invariants: vertex and edge counts, connectivity-relevant degrees.
+func TestTopoGeneratorShapes(t *testing.T) {
+	tree, err := Tree{N: 40, Branching: 3}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.EdgeCount() != 39 {
+		t.Errorf("tree: %d edges, want n-1 = 39", tree.EdgeCount())
+	}
+	if tree.MaxDegree() > 4 {
+		t.Errorf("tree: max degree %d, want <= branching+1", tree.MaxDegree())
+	}
+
+	sf, err := ScaleFree{N: 200, Attach: 3}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := 4*3/2 + (200-4)*3
+	if sf.EdgeCount() != wantM {
+		t.Errorf("scalefree: %d edges, want %d", sf.EdgeCount(), wantM)
+	}
+	if sf.MaxDegree() < 3*int(sf.MeanDegree()) {
+		t.Errorf("scalefree: max degree %d not hub-like (mean %.1f)", sf.MaxDegree(), sf.MeanDegree())
+	}
+
+	sw, err := SmallWorld{N: 200, K: 6, Rewire: 0.1}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.EdgeCount() != 200*6/2 {
+		t.Errorf("smallworld: %d edges, want %d", sw.EdgeCount(), 600)
+	}
+	// Rewiring conserves edges; minimum degree can drop but never to 0
+	// at beta=0.1, K=6 in practice for these seeds.
+	if sw.MaxDegree() < 6 {
+		t.Errorf("smallworld: max degree %d, want >= K", sw.MaxDegree())
+	}
+}
+
+// TestTopoGeneratorErrors sweeps every parameter-validation path.
+func TestTopoGeneratorErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  Generator
+	}{
+		{"tree branching 0", Tree{N: 10, Branching: 0}},
+		{"tree too small", Tree{N: 1, Branching: 2}},
+		{"scalefree attach 0", ScaleFree{N: 10, Attach: 0}},
+		{"scalefree too small", ScaleFree{N: 4, Attach: 3}},
+		{"smallworld odd K", SmallWorld{N: 10, K: 3, Rewire: 0.1}},
+		{"smallworld K 0", SmallWorld{N: 10, K: 0, Rewire: 0.1}},
+		{"smallworld too small", SmallWorld{N: 6, K: 6, Rewire: 0.1}},
+		{"smallworld rewire < 0", SmallWorld{N: 10, K: 4, Rewire: -0.1}},
+		{"smallworld rewire > 1", SmallWorld{N: 10, K: 4, Rewire: 1.1}},
+	}
+	for _, c := range cases {
+		if _, err := c.gen.Generate(1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestTopoGeneratorDeterminism is the seeding contract: the same seed
+// replays to the identical graph, different seeds diverge (for the
+// stochastic families), and generation is insensitive to call history —
+// the property that lets one graph be built per worker at any worker
+// count and still match.
+func TestTopoGeneratorDeterminism(t *testing.T) {
+	for _, gen := range goldenGenerators() {
+		a, err := gen.Generate(7)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		// Interleave another generation to prove there is no shared state.
+		if _, err := gen.Generate(99); err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		b, err := gen.Generate(7)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: seed 7 replay diverged", gen.Name())
+		}
+		if gen.Name() == "tree" {
+			continue // the tree is seed-free by design
+		}
+		c, err := gen.Generate(8)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		if a.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s: seeds 7 and 8 produced the identical graph", gen.Name())
+		}
+	}
+}
+
+// computeTopoGolden fingerprints the golden parameter grid across the
+// regression seeds.
+func computeTopoGolden(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, gen := range goldenGenerators() {
+		for _, seed := range []uint64{1, 7, 1905} {
+			g, err := gen.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", gen.Name(), seed, err)
+			}
+			out[fmt.Sprintf("%s/seed=%d", gen.Name(), seed)] = fmt.Sprintf("%016x", g.Fingerprint())
+		}
+	}
+	return out
+}
+
+// TestTopoGeneratorGolden pins generator output byte-for-byte against
+// the recorded fingerprints.
+func TestTopoGeneratorGolden(t *testing.T) {
+	got := computeTopoGolden(t)
+	if *updateTopoGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(topoGoldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", topoGoldenPath)
+		return
+	}
+	raw, err := os.ReadFile(topoGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (record with -update-topo): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s: fingerprint %s, golden %s — generator output drifted", k, got[k], w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: fingerprint missing from golden file (record with -update-topo)", k)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+// Spectral anchors with closed-form λ₁: the power iteration must land
+// on the analytical value for each, including the bipartite cases
+// (star, path) that defeat unshifted power iteration.
+func TestTopoSpectralAnchors(t *testing.T) {
+	mk := func(n int, edges []edge) *Graph {
+		g, err := build("anchor", n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	// Complete graph K_n: λ₁ = n-1.
+	var kEdges []edge
+	const kn = 12
+	for u := 0; u < kn; u++ {
+		for v := u + 1; v < kn; v++ {
+			kEdges = append(kEdges, edge{int32(u), int32(v)})
+		}
+	}
+
+	// Star K_{1,n-1} (bipartite): λ₁ = sqrt(n-1).
+	var starEdges []edge
+	const sn = 50
+	for v := 1; v < sn; v++ {
+		starEdges = append(starEdges, edge{0, int32(v)})
+	}
+
+	// Path P_n (bipartite): λ₁ = 2 cos(pi/(n+1)).
+	var pathEdges []edge
+	const pn = 40
+	for v := 1; v < pn; v++ {
+		pathEdges = append(pathEdges, edge{int32(v - 1), int32(v)})
+	}
+
+	cases := []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"complete K12", mk(kn, kEdges), kn - 1},
+		{"star K1,49", mk(sn, starEdges), math.Sqrt(sn - 1)},
+		{"path P40", mk(pn, pathEdges), 2 * math.Cos(math.Pi/(pn+1))},
+	}
+	for _, c := range cases {
+		got, iters := c.g.SpectralRadius()
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%s: lambda1 = %.9f (%d iters), want %.9f", c.name, got, iters, c.want)
+		}
+	}
+
+	// Unrewired ring lattice: K-regular, so λ₁ = K exactly.
+	ring, err := SmallWorld{N: 100, K: 6, Rewire: 0}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ring.SpectralRadius(); math.Abs(got-6) > 1e-6 {
+		t.Errorf("ring lattice: lambda1 = %.9f, want 6", got)
+	}
+}
+
+// TestTopoSpectralBounds sanity-checks the generated families against
+// the standard eigenvalue bounds mean degree <= λ₁ <= max degree.
+func TestTopoSpectralBounds(t *testing.T) {
+	for _, gen := range goldenGenerators() {
+		g, err := gen.Generate(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, iters := g.SpectralRadius()
+		if l1 < g.MeanDegree()-1e-9 || l1 > float64(g.MaxDegree())+1e-9 {
+			t.Errorf("%s: lambda1 %.4f outside [mean %.4f, max %d]",
+				gen.Name(), l1, g.MeanDegree(), g.MaxDegree())
+		}
+		if iters >= spectralMaxIter {
+			t.Errorf("%s: power iteration hit the %d-iteration cap", gen.Name(), spectralMaxIter)
+		}
+	}
+}
+
+// TestTopoSpectralDeterministic replays the computation: fixed start
+// vector and summation order mean bit-identical results.
+func TestTopoSpectralDeterministic(t *testing.T) {
+	g, err := ScaleFree{N: 300, Attach: 3}.Generate(1905)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.SpectralRadius()
+	b, _ := g.SpectralRadius()
+	if a != b {
+		t.Fatalf("spectral radius not bit-stable: %v != %v", a, b)
+	}
+}
