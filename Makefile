@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint chaos crash fleet-soak fuzz-smoke sketch-smoke topo-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare kernel-equivalence lint chaos crash fleet-soak fuzz-smoke sketch-smoke topo-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-json measures the telemetry, gateway, fleet and topology
-# benchmark suites (including the graph scan hot path, whose allocs/op
-# must record 0) and records name → ns/op, B/op, allocs/op in
-# BENCH_PR8.json.
+# bench-json measures the event-kernel and simulation suites (the
+# deep-churn EventKernelChurn matrix and the internet-scale SimRun10M)
+# alongside the telemetry, gateway, fleet and topology suites, records
+# name → ns/op, B/op, allocs/op in BENCH_PR9.json, and gates the
+# steady-state zero-allocation contract: SimRun10M and the wheel churn
+# benchmarks must record 0 allocs/op.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json -benchtime 1s \
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json -benchtime 1s \
+		./internal/des ./internal/sim \
 		./internal/telemetry ./internal/gateway ./internal/fleet ./internal/topo
+	$(GO) run ./cmd/benchjson gate \
+		-pattern 'BenchmarkSimRun10M|BenchmarkEventKernelChurn/kernel=wheel' \
+		-max-allocs 0 BENCH_PR9.json
 
 # bench-compare re-measures the perf-critical benchmark suites (event
 # kernel, samplers, simulation engines, gateway hot path), records them
@@ -42,6 +48,14 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -benchtime 1s \
 		./internal/des ./internal/dist ./internal/sim ./internal/gateway
 	$(GO) run ./cmd/benchjson compare BENCH_PR4_BASELINE.json BENCH_PR4.json
+
+# kernel-equivalence proves the timing-wheel kernel observationally
+# identical to the heap reference: randomized kernel fire-sequence
+# equality, golden-scenario fingerprint parity, and byte-identical
+# experiment artifacts across backends and worker counts.
+kernel-equivalence:
+	$(GO) test -run 'Kernel|Wheel' -count=1 \
+		./internal/des ./internal/sim ./internal/experiments
 
 # The gateway and fleet chaos suites under the race detector across the
 # same fault seeds CI sweeps. Override with CHAOS_SEEDS="42" for a
@@ -113,25 +127,27 @@ fuzz-smoke:
 # Coverage floors: the deployable network path (internal/gateway), the
 # durability layer (internal/durable), the containment policy plus
 # sketch estimator (internal/core) and the graph topology layer
-# (internal/topo). CI fails below 88.8% / 85% / 94% / 90%.
+# (internal/topo). CI fails below 88.8% / 85% / 94% / 90%. Profiles are
+# written into the gitignored coverage/ dir, never the repo root.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./internal/gateway
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	@mkdir -p coverage
+	$(GO) test -count=1 -coverprofile=coverage/cover.out ./internal/gateway
+	@total=$$($(GO) tool cover -func=coverage/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/gateway coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 88.8) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 88.8% floor" >&2; exit 1; }
-	$(GO) test -count=1 -coverprofile=cover-durable.out ./internal/durable
-	@total=$$($(GO) tool cover -func=cover-durable.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	$(GO) test -count=1 -coverprofile=coverage/cover-durable.out ./internal/durable
+	@total=$$($(GO) tool cover -func=coverage/cover-durable.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/durable coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 85.0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 85% floor" >&2; exit 1; }
-	$(GO) test -count=1 -coverprofile=cover-core.out ./internal/core
-	@total=$$($(GO) tool cover -func=cover-core.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	$(GO) test -count=1 -coverprofile=coverage/cover-core.out ./internal/core
+	@total=$$($(GO) tool cover -func=coverage/cover-core.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/core coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 94.0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 94% floor" >&2; exit 1; }
-	$(GO) test -count=1 -coverprofile=cover-topo.out ./internal/topo
-	@total=$$($(GO) tool cover -func=cover-topo.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	$(GO) test -count=1 -coverprofile=coverage/cover-topo.out ./internal/topo
+	@total=$$($(GO) tool cover -func=coverage/cover-topo.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/topo coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 90.0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the 90% floor" >&2; exit 1; }
@@ -145,4 +161,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos crash fleet-soak sketch-smoke topo-smoke cover bench
+ci: lint build test race chaos crash fleet-soak sketch-smoke topo-smoke kernel-equivalence cover bench

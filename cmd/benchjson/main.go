@@ -23,6 +23,15 @@
 // is a real regression, never noise. Benchmarks present in only one
 // file are reported but never fail the gate, so adding or retiring
 // benchmarks does not require touching the baseline in the same change.
+//
+// The gate subcommand asserts an absolute allocation bound on a
+// recording, no baseline needed — the steady-state-zero-allocation
+// contract for arena-reusing benchmarks:
+//
+//	benchjson gate -pattern 'BenchmarkSimRun10M' -max-allocs 0 BENCH_PR9.json
+//
+// A pattern that matches no benchmark fails, so renaming a gated
+// benchmark cannot silently drop its gate.
 package main
 
 import (
@@ -60,6 +69,9 @@ type result struct {
 func run(args []string, out io.Writer) error {
 	if len(args) > 0 && args[0] == "compare" {
 		return runCompare(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "gate" {
+		return runGate(args[1:], out)
 	}
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -192,6 +204,68 @@ func runCompare(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nno regressions (%d benchmarks compared, ns/op threshold %.1f%%)\n",
 		len(names), *maxNsRegress)
+	return nil
+}
+
+// runGate implements `benchjson gate -pattern RE -max-allocs N file.json`:
+// an absolute assertion on a recording, independent of any baseline —
+// every benchmark matching the pattern must hold allocs/op at or below
+// the bound. Matching nothing fails, so a renamed benchmark cannot
+// silently retire its gate.
+func runGate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson gate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		pattern   = fs.String("pattern", "", "benchmark name regexp the gate applies to (required)")
+		maxAllocs = fs.Float64("max-allocs", 0, "maximum tolerated allocs/op (default 0: steady state must not allocate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("gate needs -pattern")
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		return fmt.Errorf("gate -pattern: %w", err)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("gate needs exactly one recording: file.json")
+	}
+	results, err := loadResults(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("gate pattern %q matches no benchmark in %s", *pattern, fs.Arg(0))
+	}
+	sort.Strings(names)
+	var failures []regression
+	for _, name := range names {
+		r := results[name]
+		mark := ""
+		if r.AllocsPerOp > *maxAllocs {
+			mark = "  FAIL"
+			failures = append(failures, regression{name,
+				fmt.Sprintf("allocs/op %.0f exceeds gate %.0f", r.AllocsPerOp, *maxAllocs)})
+		}
+		fmt.Fprintf(out, "%-55s %12.1f ns/op %9.0f allocs/op (gate <= %.0f)%s\n",
+			name, r.NsPerOp, r.AllocsPerOp, *maxAllocs, mark)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  %s: %s\n", f.name, f.reason)
+		}
+		return fmt.Errorf("allocation gate failed (%d benchmark(s))", len(failures))
+	}
+	fmt.Fprintf(out, "allocation gate passed (%d benchmark(s) <= %.0f allocs/op)\n",
+		len(names), *maxAllocs)
 	return nil
 }
 

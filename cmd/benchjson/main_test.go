@@ -141,6 +141,57 @@ func TestCompareFailsOnAnyAllocRegression(t *testing.T) {
 	}
 }
 
+func TestGatePassesAndFails(t *testing.T) {
+	dir := t.TempDir()
+	rec := writeRecording(t, dir, "rec.json", `{
+  "BenchmarkSimRun10M": {"ns_per_op": 7e9, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkEventKernelChurn/kernel=wheel/pending=10M": {"ns_per_op": 461, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkOther": {"ns_per_op": 10, "bytes_per_op": 64, "allocs_per_op": 3}
+}`)
+	var out bytes.Buffer
+	// Zero-alloc benchmarks pass the default gate.
+	if err := run([]string{"gate", "-pattern", "SimRun10M|kernel=wheel", rec}, &out); err != nil {
+		t.Fatalf("zero-alloc gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocation gate passed (2 benchmark(s)") {
+		t.Errorf("pass summary missing:\n%s", out.String())
+	}
+	// An allocating benchmark fails the default bound...
+	out.Reset()
+	if err := run([]string{"gate", "-pattern", "BenchmarkOther", rec}, &out); err == nil {
+		t.Fatalf("3 allocs/op passed a 0-alloc gate:\n%s", out.String())
+	}
+	// ...and passes once the bound admits it.
+	out.Reset()
+	if err := run([]string{"gate", "-pattern", "BenchmarkOther", "-max-allocs", "3", rec}, &out); err != nil {
+		t.Fatalf("3 allocs/op failed a 3-alloc gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateArgValidation(t *testing.T) {
+	dir := t.TempDir()
+	rec := writeRecording(t, dir, "rec.json",
+		`{"BenchmarkKernel": {"ns_per_op": 100, "bytes_per_op": 0, "allocs_per_op": 0}}`)
+	var out bytes.Buffer
+	if err := run([]string{"gate", rec}, &out); err == nil {
+		t.Error("expected error for missing -pattern")
+	}
+	if err := run([]string{"gate", "-pattern", "Kernel"}, &out); err == nil {
+		t.Error("expected error for missing recording file")
+	}
+	if err := run([]string{"gate", "-pattern", "[", rec}, &out); err == nil {
+		t.Error("expected error for a malformed pattern")
+	}
+	// A pattern matching nothing must fail: a renamed benchmark cannot
+	// silently retire its gate.
+	if err := run([]string{"gate", "-pattern", "Vanished", rec}, &out); err == nil {
+		t.Error("expected error when the pattern matches no benchmark")
+	}
+	if err := run([]string{"gate", "-pattern", "Kernel", "/nonexistent/rec.json"}, &out); err == nil {
+		t.Error("expected error for an unreadable recording")
+	}
+}
+
 func TestCompareArgValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"compare", "only-one.json"}, &out); err == nil {

@@ -32,6 +32,7 @@ import (
 
 	"wormcontain/internal/core"
 	"wormcontain/internal/defense"
+	"wormcontain/internal/des"
 	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
@@ -67,6 +68,7 @@ func run(args []string) error {
 		topoRew   = fs.Float64("topo-rewire", 0.1, "small-world rewiring probability")
 		topoFile  = fs.String("topo-file", "", "adjacency file for -topology file (wormtopo v1 format)")
 		edgeRate  = fs.Bool("edge-rate", false, "scale each host's scan rate by its degree (per-edge rate beta = -rate)")
+		kernel    = fs.String("kernel", "heap", "event kernel backend: heap (reference) or wheel (hierarchical timing wheel)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		stream    = fs.Uint64("stream", 0, "random stream (first replication index)")
 		runs      = fs.Int("runs", 1, "Monte-Carlo replications (replication r uses stream + r)")
@@ -77,6 +79,10 @@ func run(args []string) error {
 		return err
 	}
 
+	kind, err := des.ParseKind(*kernel)
+	if err != nil {
+		return err
+	}
 	if *worm != "" {
 		w, ok := core.PresetByName(*worm, *m, *i0)
 		if !ok {
@@ -144,6 +150,11 @@ func run(args []string) error {
 	} else if *edgeRate {
 		return fmt.Errorf("-edge-rate needs a graph topology")
 	}
+	// The population header: selected event kernel and the per-host state
+	// footprint (address table plus packed epidemiology bitsets) the -v
+	// hosts will occupy.
+	fmt.Printf("kernel: %s  population: %d hosts (%.1f MB state)\n",
+		kind, *v, float64(sim.PopulationFootprint(*v))/(1<<20))
 
 	// Defenses are stateful (scan budgets, throttle queues, quarantine
 	// timers), so every replication builds its own instance.
@@ -178,6 +189,7 @@ func run(args []string) error {
 			EdgeScanRate: *edgeRate,
 			Seed:         *seed,
 			Stream:       stream,
+			Kernel:       kind,
 			RecordPaths:  *path,
 		}
 		if *dutyOn > 0 {

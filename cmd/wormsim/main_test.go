@@ -133,6 +133,52 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunKernelFlag pins the -kernel contract: valid backends run,
+// print the selected kernel in the population header, and produce
+// identical reports; anything else fails fast before the simulation.
+func TestRunKernelFlag(t *testing.T) {
+	base := []string{"-v", "1500", "-i0", "3", "-m", "10", "-rate", "30",
+		"-seed", "9", "-horizon", "3s"}
+	cases := []struct {
+		kernel  string
+		wantErr string // substring of the error; "" = must succeed
+	}{
+		{"heap", ""},
+		{"wheel", ""},
+		{"", ""}, // empty selects the heap default
+		{"calendar", "unknown kernel"},
+		{"Wheel", "unknown kernel"}, // case-sensitive
+		{"heap ", "unknown kernel"},
+	}
+	outputs := map[string]string{}
+	for _, c := range cases {
+		args := append(append([]string{}, base...), "-kernel", c.kernel)
+		if c.wantErr != "" {
+			err := run(args)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("-kernel %q: error %v, want substring %q", c.kernel, err, c.wantErr)
+			}
+			continue
+		}
+		out := captureRun(t, args)
+		shown := c.kernel
+		if shown == "" {
+			shown = "heap"
+		}
+		if !strings.Contains(out, "kernel: "+shown+" ") {
+			t.Errorf("-kernel %q: header missing kernel name:\n%s", c.kernel, out)
+		}
+		if !strings.Contains(out, "population: 1500 hosts") {
+			t.Errorf("-kernel %q: header missing population footprint:\n%s", c.kernel, out)
+		}
+		outputs[shown] = strings.Replace(out, "kernel: "+shown+" ", "kernel: X ", 1)
+	}
+	if outputs["heap"] != outputs["wheel"] {
+		t.Errorf("heap and wheel reports differ:\n--- heap ---\n%s\n--- wheel ---\n%s",
+			outputs["heap"], outputs["wheel"])
+	}
+}
+
 func TestTopoRunGeneratedTopologies(t *testing.T) {
 	for _, top := range []string{"tree", "scalefree", "smallworld"} {
 		args := []string{"-v", "500", "-i0", "3", "-topology", top, "-edge-rate",

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -465,18 +466,65 @@ func BenchmarkScheduleRun(b *testing.B) {
 
 // BenchmarkEventKernelChurn measures the kernel's steady state — the
 // workload a long simulation run presents: one simulator, a standing
-// population of self-rescheduling event chains, one schedule per fire.
-// ns/op is the cost of one event through the full schedule→heap→fire
-// cycle.
+// population of self-rescheduling event chains, one fire-and-forget
+// Emit per fire (the form the sim engine's scan events use).
+// ns/op is the cost of one event through the full schedule→queue→fire
+// cycle. The pending axis is what separates the backends: the heap
+// pays O(log n) per event and n=10M means ~23 cache-missing sift
+// levels, while the wheel stays O(1) at any depth. The wheel tick is
+// derived the same way the sim engine derives it: mean delay over 4×
+// the standing population, so level-0 buckets hold O(1) events.
 func BenchmarkEventKernelChurn(b *testing.B) {
-	s := New()
-	const chains = 64
-	handlers := make([]Handler, chains)
-	for j := 0; j < chains; j++ {
-		j := j
-		handlers[j] = func() { s.Schedule(time.Millisecond, handlers[j]) }
-		s.Schedule(time.Duration(j)*time.Microsecond, handlers[j])
+	for _, kc := range []struct {
+		name string
+		kind Kind
+	}{{"heap", KernelHeap}, {"wheel", KernelWheel}} {
+		for _, pc := range []struct {
+			name    string
+			pending int
+		}{{"1k", 1_000}, {"100k", 100_000}, {"10M", 10_000_000}} {
+			b.Run("kernel="+kc.name+"/pending="+pc.name, func(b *testing.B) {
+				benchChurn(b, kc.kind, pc.pending)
+			})
+		}
 	}
+}
+
+func benchChurn(b *testing.B, kind Kind, pending int) {
+	tick := time.Duration(1)
+	if per := meanChurnDelay / time.Duration(4*pending); per > 1 {
+		tick = per // Configure rounds down to a power of two
+	}
+	s := NewWithConfig(Config{Kernel: kind, WheelTick: tick})
+	state := uint64(0x1905)
+	nextDelay := func() time.Duration {
+		state = state*6364136223846793005 + 1442695040888963407
+		return time.Duration(1 + (state>>33)%uint64(2*meanChurnDelay))
+	}
+	var fn ArgHandler
+	fn = func(arg int) { s.Emit(nextDelay(), fn, arg) }
+	// Seed the standing population through batched admission, in
+	// chunks so the staging slice stays small at pending=10M.
+	const chunk = 1 << 16
+	evs := make([]BatchEvent, 0, chunk)
+	for seeded := 0; seeded < pending; {
+		evs = evs[:0]
+		for len(evs) < chunk && seeded < pending {
+			evs = append(evs, BatchEvent{At: nextDelay(), Fn: fn, Arg: seeded})
+			seeded++
+		}
+		s.ScheduleBatch(evs)
+	}
+	// Warm the node pool and the wheel's due heap to steady state, then
+	// let the GC finish marking the node arena so the measured loop
+	// (which allocates nothing) isn't sharing the core with a
+	// concurrent mark of 10M nodes triggered by the seeding phase.
+	for i := 0; i < 10_000; i++ {
+		if !s.Step() {
+			b.Fatal("queue drained during warm-up")
+		}
+	}
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -485,3 +533,6 @@ func BenchmarkEventKernelChurn(b *testing.B) {
 		}
 	}
 }
+
+// meanChurnDelay is the churn benchmark's mean reschedule delay.
+const meanChurnDelay = time.Millisecond

@@ -117,6 +117,7 @@ func runAblationDefense(opts Options) (*Result, error) {
 					return cell{}, err
 				}
 				cfg.Horizon = w.horizon
+				cfg.Kernel = opts.Kernel
 				out, err := sim.RunWith(cfg, pool.Get(slot))
 				if err != nil {
 					return cell{}, err
@@ -184,6 +185,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 			MaxInfected: 20000,
 			Seed:        opts.Seed,
 			Stream:      uint64(r),
+			Kernel:      opts.Kernel,
 		}
 		out, err := sim.RunWith(cfg, pool.Get(slot))
 		if err != nil {
@@ -226,6 +228,7 @@ func runAblationDeterministic(opts Options) (*Result, error) {
 			MaxInfected: 20000,
 			Seed:        opts.Seed ^ 0x9a7c,
 			Stream:      uint64(r),
+			Kernel:      opts.Kernel,
 		}, pool.Get(slot))
 		if err != nil {
 			return 0, err
@@ -315,6 +318,7 @@ func runAblationPreference(opts Options) (*Result, error) {
 				MaxInfected:   v,
 				Seed:          opts.Seed,
 				Stream:        uint64(r),
+				Kernel:        opts.Kernel,
 			}
 			out, err := sim.RunWith(cfg, pool.Get(slot))
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"wormcontain/internal/des"
 	"wormcontain/internal/parallel"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// deterministic: every worker count produces bit-identical results,
 	// so Workers trades wall-clock only, never output.
 	Workers int
+	// Kernel selects the discrete-event kernel backend for every DES
+	// replication (the fast generational Monte-Carlo engine has no event
+	// queue and ignores it). The zero value is the heap reference
+	// backend; both backends produce byte-identical artifacts — pinned
+	// by TestKernelArtifactParity — so Kernel trades wall-clock only.
+	Kernel des.Kind
 }
 
 // normalize fills defaults.

@@ -73,6 +73,7 @@ func runAblationStealth(opts Options) (*Result, error) {
 			}
 			cfg.DutyCycle = &duty
 			cfg.Horizon = horizon
+			cfg.Kernel = opts.Kernel
 			out, err := sim.RunWith(cfg, pool.Get(slot))
 			if err != nil {
 				return 0, err
@@ -119,6 +120,7 @@ func runAblationStealth(opts Options) (*Result, error) {
 			return "", err
 		}
 		label := "always-on"
+		cfg.Kernel = opts.Kernel
 		if stealthy {
 			cfg.DutyCycle = &sim.DutyCycleConfig{On: 10 * time.Second, Off: 90 * time.Second}
 			label = "stealth (10s on / 90s off)"

@@ -166,6 +166,7 @@ func runTopologyContainment(opts Options) (*Result, error) {
 				if err != nil {
 					return repOut{}, err
 				}
+				cfg.Kernel = opts.Kernel
 				out, err := sim.RunWith(cfg, pool.Get(slot))
 				if err != nil {
 					return repOut{}, err

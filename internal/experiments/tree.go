@@ -25,6 +25,7 @@ func runFig1(opts Options) (*Result, error) {
 		return nil, err
 	}
 	cfg.RecordTree = true
+	cfg.Kernel = opts.Kernel
 	out, err := sim.Run(cfg)
 	if err != nil {
 		return nil, err

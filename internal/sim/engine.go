@@ -142,6 +142,12 @@ type Config struct {
 	// across concurrent replications, where they aggregate. Nil (the
 	// default) adds no instrumentation at all.
 	Metrics *telemetry.Registry
+	// Kernel selects the event-kernel backend: des.KernelHeap (the
+	// zero value, the reference binary heap) or des.KernelWheel (the
+	// hierarchical timing wheel, O(1) per event — the backend for
+	// internet-scale populations). Event delivery is (time, seq)-
+	// deterministic on both, so results are byte-identical either way.
+	Kernel des.Kind
 	// Seed and Stream select the deterministic random stream.
 	Seed, Stream uint64
 	// RecordPaths enables the time-series sample paths (Figs. 9–10);
@@ -257,18 +263,25 @@ type engine struct {
 	sim        *des.Simulator
 	src        *rng.PCG64
 	pop        *addr.Population
-	status     []Status
-	gen        []int
+	state      hostState
+	gen        []int32
 	infectedAt []time.Duration // per-host infection instant (duty-cycle phase anchor)
 	scanner    []addr.Scanner  // per-host when factory set; else shared at [0]
 	res        *Result
-	active     int
 	metrics    *simMetrics
 
+	// Batched admission: while batching is set (outbreak seeding and
+	// countermeasure start-up), scan/patch/immunize events accumulate
+	// in batch and are admitted through one des.ScheduleBatch call —
+	// sequence numbers are assigned in append order, so the fire order
+	// is byte-identical to individual Schedule calls.
+	batching bool
+	batch    []des.BatchEvent
+
 	// Bound method values, created once per engine (not per event):
-	// scheduling a scan, patch or immunization passes one of these plus a
-	// host index through des.ScheduleArg, so the per-event closure
-	// allocation of the naive form disappears.
+	// scheduling a scan, patch or immunization passes one of these plus
+	// a host index through des.EmitAt — fire-and-forget, so no per-event
+	// closure and (on the wheel backend) no event node at all.
 	scanFn     des.ArgHandler // scanAttempt
 	patchFn    des.ArgHandler // patchFire
 	immunizeFn des.ArgHandler // immunizeFire
@@ -348,8 +361,21 @@ func Run(cfg Config) (*Result, error) {
 // with and without arena reuse: every buffer is fully reset before use
 // and the RNG draw sequence does not depend on the arena's history.
 func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	res := &Result{}
+	if err := RunInto(cfg, scratch, res); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is RunWith writing into a caller-owned Result, reusing its
+// Generations and Tree capacity, so a replication loop that recycles
+// both the Scratch and the Result runs with zero steady-state
+// allocation — the regime the SimRun10M benchmark gates. All other
+// fields of res are overwritten.
+func RunInto(cfg Config, scratch *Scratch, res *Result) error {
+	if err := cfg.validate(); err != nil {
+		return err
 	}
 	if scratch == nil {
 		scratch = NewScratch()
@@ -357,28 +383,37 @@ func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
 		scratch.init() // zero-value Scratch: wire it in place
 	}
 	e := &scratch.eng
-	src := rng.NewPCG64(cfg.Seed, cfg.Stream)
+	if e.src == nil {
+		e.src = rng.NewPCG64(cfg.Seed, cfg.Stream)
+	} else {
+		e.src.Reseed(cfg.Seed, cfg.Stream)
+	}
+	src := e.src
 	if e.pop == nil {
 		pop, err := addr.NewPopulation(cfg.V, cfg.ClusterPrefix, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.pop = pop
 	} else if err := e.pop.Repopulate(cfg.V, cfg.ClusterPrefix, src); err != nil {
-		return nil, err
+		return err
 	}
 	e.cfg = cfg
-	e.src = src
 	e.sim.Reset()
-	e.status = grow(e.status, cfg.V)
+	e.configureKernel()
+	e.state.reset(cfg.V)
 	e.gen = grow(e.gen, cfg.V)
-	e.infectedAt = grow(e.infectedAt, cfg.V)
-	e.res = &Result{} // escapes to the caller; never pooled
-	e.active = 0
-	e.metrics = nil
-	for i := range e.status {
-		e.status[i] = Susceptible
+	if cfg.DutyCycle != nil {
+		// The per-host infection instant anchors dormancy phases; no
+		// other path reads it, so the 8-bytes-per-host slab is only
+		// paid in stealth-worm scenarios.
+		e.infectedAt = grow(e.infectedAt, cfg.V)
+	} else {
+		e.infectedAt = e.infectedAt[:0]
 	}
+	*res = Result{Generations: res.Generations[:0], Tree: res.Tree[:0]}
+	e.res = res
+	e.metrics = nil
 	if cfg.Metrics != nil {
 		e.sim.Instrument(cfg.Metrics)
 		e.metrics = newSimMetrics(cfg.Metrics)
@@ -397,12 +432,18 @@ func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
 		e.scanner = grow(e.scanner, cfg.V)
 	}
 
-	// Seed the outbreak: hosts 0..I0-1 are generation 0.
+	// Seed the outbreak (hosts 0..I0-1 are generation 0) and the
+	// immunization process with batched admission: the events are
+	// staged in order and admitted in one ScheduleBatch pass instead of
+	// I0+V scheduler calls.
+	e.batch = e.batch[:0]
+	e.batching = true
 	for i := 0; i < cfg.I0; i++ {
 		e.infect(i, 0)
 	}
-
 	e.startCountermeasures()
+	e.batching = false
+	e.sim.ScheduleBatch(e.batch)
 
 	var background *backgroundDriver
 	if cfg.Background != nil {
@@ -416,11 +457,44 @@ func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
 		e.sim.Run()
 	}
 	e.res.EndTime = e.sim.Now()
-	e.res.Extinct = e.active == 0
+	e.res.Extinct = e.state.active == 0
 	if background != nil {
 		e.res.Background = background.finalize()
 	}
-	return e.res, nil
+	e.res = nil // never retain the caller's Result across runs
+	return nil
+}
+
+// configureKernel applies the run's kernel selection, deriving the
+// wheel granularity from the workload: with up to V hosts scanning at
+// ScanRate, the dominant inter-event gap is 1/(ScanRate·V) seconds, and
+// a tick of a quarter of that keeps level-0 buckets at O(1) events.
+// The tick only affects constants — delivery order is exact at any
+// granularity.
+func (e *engine) configureKernel() {
+	kcfg := des.Config{Kernel: e.cfg.Kernel}
+	if e.cfg.Kernel == des.KernelWheel {
+		gap := float64(time.Second) / (e.cfg.ScanRate * float64(e.cfg.V) * 4)
+		switch {
+		case gap < 1:
+			kcfg.WheelTick = 1
+		case gap > float64(des.DefaultWheelTick):
+			kcfg.WheelTick = des.DefaultWheelTick
+		default:
+			kcfg.WheelTick = time.Duration(gap)
+		}
+	}
+	e.sim.Configure(kcfg)
+}
+
+// emitAt schedules fn(arg) at absolute time at — staged into the
+// admission batch during seeding, directly into the kernel afterwards.
+func (e *engine) emitAt(at time.Duration, fn des.ArgHandler, arg int) {
+	if e.batching {
+		e.batch = append(e.batch, des.BatchEvent{At: at, Fn: fn, Arg: arg})
+		return
+	}
+	e.sim.EmitAt(at, fn, arg)
 }
 
 // scannerFor returns the scanner used by host i.
@@ -437,9 +511,11 @@ func (e *engine) scannerFor(i int) addr.Scanner {
 // infect transitions host i to Infected in generation g and starts its
 // scanning process.
 func (e *engine) infect(i, g int) {
-	e.status[i] = Infected
-	e.gen[i] = g
-	e.infectedAt[i] = e.sim.Now()
+	e.state.markInfected(i)
+	e.gen[i] = int32(g)
+	if len(e.infectedAt) > 0 {
+		e.infectedAt[i] = e.sim.Now()
+	}
 	for len(e.res.Generations) <= g {
 		e.res.Generations = append(e.res.Generations, 0)
 	}
@@ -448,9 +524,8 @@ func (e *engine) infect(i, g int) {
 	if m := e.metrics; m != nil {
 		m.infections.Inc()
 	}
-	e.active++
-	if e.active > e.res.PeakActive {
-		e.res.PeakActive = e.active
+	if e.state.active > e.res.PeakActive {
+		e.res.PeakActive = e.state.active
 	}
 	e.recordPaths()
 	if e.cfg.MaxInfected > 0 && e.res.TotalInfected >= e.cfg.MaxInfected {
@@ -469,22 +544,23 @@ func (e *engine) startCountermeasures() {
 	if e.cfg.ImmunizeRate <= 0 {
 		return
 	}
-	for i := range e.status {
-		if e.status[i] != Susceptible {
+	now := e.sim.Now()
+	for i := 0; i < e.cfg.V; i++ {
+		if !e.state.isSusceptible(i) {
 			continue
 		}
 		delay := time.Duration(rng.Exponential(e.src, e.cfg.ImmunizeRate) * float64(time.Second))
-		e.sim.ScheduleArg(delay, e.immunizeFn, i)
+		e.emitAt(now+delay, e.immunizeFn, i)
 	}
 }
 
 // immunizeFire is the immunization event: a still-susceptible host is
 // removed before the worm reaches it.
 func (e *engine) immunizeFire(i int) {
-	if e.status[i] != Susceptible {
+	if !e.state.isSusceptible(i) {
 		return
 	}
-	e.status[i] = Removed
+	e.state.markImmunized(i)
 	e.res.Immunized++
 }
 
@@ -494,13 +570,13 @@ func (e *engine) schedulePatch(i int) {
 		return
 	}
 	delay := time.Duration(rng.Exponential(e.src, e.cfg.PatchRate) * float64(time.Second))
-	e.sim.ScheduleArg(delay, e.patchFn, i)
+	e.emitAt(e.sim.Now()+delay, e.patchFn, i)
 }
 
 // patchFire is the patch (clean-up) event: a still-infected host is
 // cleaned and retired.
 func (e *engine) patchFire(i int) {
-	if e.status[i] != Infected {
+	if !e.state.isInfected(i) {
 		return
 	}
 	e.res.Patched++
@@ -509,12 +585,11 @@ func (e *engine) patchFire(i int) {
 
 // remove retires an infected host (defense removal).
 func (e *engine) remove(i int) {
-	if e.status[i] != Infected {
+	if !e.state.isInfected(i) {
 		return
 	}
-	e.status[i] = Removed
+	e.state.markRemoved(i)
 	e.res.TotalRemoved++
-	e.active--
 	e.recordPaths()
 }
 
@@ -526,7 +601,7 @@ func (e *engine) recordPaths() {
 	now := e.sim.Now()
 	e.res.InfectedSeries.Record(now, float64(e.res.TotalInfected))
 	e.res.RemovedSeries.Record(now, float64(e.res.TotalRemoved))
-	e.res.ActiveSeries.Record(now, float64(e.active))
+	e.res.ActiveSeries.Record(now, float64(e.state.active))
 }
 
 // scanRateFor returns host i's scan rate: the configured rate, scaled
@@ -565,7 +640,7 @@ func (e *engine) scheduleNextScan(i int) {
 	if dc := e.cfg.DutyCycle; dc != nil {
 		at = dc.nextActive(e.infectedAt[i], at)
 	}
-	e.sim.ScheduleArgAt(at, e.scanFn, i)
+	e.emitAt(at, e.scanFn, i)
 }
 
 // guardEvents stops the run when the event budget is exhausted.
@@ -581,7 +656,7 @@ func (e *engine) guardEvents() bool {
 // scanAttempt is the per-scan event: pick a target, consult the defense,
 // and deliver, delay or drop.
 func (e *engine) scanAttempt(i int) {
-	if e.status[i] != Infected {
+	if !e.state.isInfected(i) {
 		return
 	}
 	now := e.sim.Now()
@@ -609,7 +684,7 @@ func (e *engine) scanAttempt(i int) {
 			m.delivered.Inc()
 		}
 		e.deliver(srcIP, dst, i)
-		if e.status[i] == Infected { // deliver may have stopped the run
+		if e.state.isInfected(i) { // deliver may have stopped the run
 			e.scheduleNextScan(i)
 		}
 	case defense.Delay:
@@ -640,7 +715,7 @@ func (e *engine) scanAttempt(i int) {
 					return
 				}
 				retry := at + time.Duration(rng.Exponential(e.src, e.scanRateFor(i))*float64(time.Second))
-				e.sim.ScheduleArgAt(retry, e.scanFn, i)
+				e.sim.EmitAt(retry, e.scanFn, i)
 				return
 			}
 		}
@@ -659,7 +734,7 @@ func (e *engine) deliver(src, dst addr.IP, parent int) {
 		obs(src, dst, e.sim.Now())
 	}
 	idx, ok := e.pop.Lookup(dst)
-	if !ok || e.status[idx] != Susceptible {
+	if !ok || !e.state.isSusceptible(idx) {
 		return
 	}
 	if e.cfg.RecordTree {
@@ -669,5 +744,5 @@ func (e *engine) deliver(src, dst addr.IP, parent int) {
 			At:     e.sim.Now(),
 		})
 	}
-	e.infect(idx, e.gen[parent]+1)
+	e.infect(idx, int(e.gen[parent])+1)
 }
