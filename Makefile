@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare kernel-equivalence lint chaos crash fleet-soak fuzz-smoke sketch-smoke topo-smoke cover ci
+.PHONY: build test race bench bench-json bench-compare kernel-equivalence lint chaos crash resume fleet-soak fuzz-smoke sketch-smoke topo-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -26,18 +26,19 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json measures the event-kernel and simulation suites (the
-# deep-churn EventKernelChurn matrix and the internet-scale SimRun10M)
-# alongside the telemetry, gateway, fleet and topology suites, records
-# name → ns/op, B/op, allocs/op in BENCH_PR9.json, and gates the
-# steady-state zero-allocation contract: SimRun10M and the wheel churn
-# benchmarks must record 0 allocs/op.
+# deep-churn EventKernelChurn matrix, the internet-scale SimRun10M and
+# the checkpoint encoder's Checkpoint10M) alongside the telemetry,
+# gateway, fleet and topology suites, records name → ns/op, B/op,
+# allocs/op in BENCH_PR10.json, and gates the steady-state
+# zero-allocation contract: SimRun10M and the wheel churn benchmarks
+# must record 0 allocs/op.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json -benchtime 1s \
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -benchtime 1s \
 		./internal/des ./internal/sim \
 		./internal/telemetry ./internal/gateway ./internal/fleet ./internal/topo
 	$(GO) run ./cmd/benchjson gate \
 		-pattern 'BenchmarkSimRun10M|BenchmarkEventKernelChurn/kernel=wheel' \
-		-max-allocs 0 BENCH_PR9.json
+		-max-allocs 0 BENCH_PR10.json
 
 # bench-compare re-measures the perf-critical benchmark suites (event
 # kernel, samplers, simulation engines, gateway hot path), records them
@@ -70,15 +71,33 @@ chaos:
 # The crash suites under the race detector: every WAL write/fsync/
 # snapshot/rename point is crashed in turn and recovery must reproduce
 # an acknowledged prefix of the limiter's history (internal/durable),
-# and a fleet peer killed mid-gossip must restart from its WAL still
+# a fleet peer killed mid-gossip must restart from its WAL still
 # enforcing and re-serving every alert it had acknowledged
-# (internal/fleet). Seeds match the CI matrix; override with
-# CRASH_SEEDS="42" for a single seed.
+# (internal/fleet), and the checkpoint directory/journal layer crashed
+# at every filesystem operation must recover exactly the last
+# acknowledged generation or record prefix (internal/simstate). Seeds
+# match the CI matrix; override with CRASH_SEEDS="42" for a single
+# seed.
 CRASH_SEEDS ?= 1 7 1905
 crash:
 	@for s in $(CRASH_SEEDS); do \
 		echo "crash seed $$s"; \
-		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable ./internal/fleet || exit 1; \
+		WORMGATE_CRASH_SEED=$$s $(GO) test -race -run 'Crash' -count=1 ./internal/durable ./internal/fleet ./internal/simstate || exit 1; \
+	done
+
+# The resume-equivalence suite: checkpointed runs, kernel-crossing
+# resumes and the sim-layer seed sweep (goldenSeeds 1/7/1905 × both
+# kernels live inside the tests), the simstate directory/journal
+# contracts, the Monte-Carlo progress journal, and the wormsim CLI
+# end-to-end resume — swept across extra trajectory seeds to match the
+# CI resume matrix. Override with RESUME_SEEDS="42" for a single seed.
+RESUME_SEEDS ?= 1 7 1905
+resume:
+	$(GO) test -run 'Checkpoint|Resume|Journal|Dir' -count=1 \
+		./internal/sim ./internal/simstate ./internal/experiments
+	@for s in $(RESUME_SEEDS); do \
+		echo "resume seed $$s"; \
+		WORMSIM_RESUME_SEED=$$s $(GO) test -run 'RunCheckpoint' -count=1 ./cmd/wormsim || exit 1; \
 	done
 
 # The fleet soak: a seeded workload of randomized traffic, partitions
@@ -123,6 +142,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReportLine -fuzztime 10s ./internal/gateway
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/durable
 	$(GO) test -run '^$$' -fuzz FuzzAdjacencyParser -fuzztime 10s ./internal/topo
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/sim
 
 # Coverage floors: the deployable network path (internal/gateway), the
 # durability layer (internal/durable), the containment policy plus
@@ -161,4 +181,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: lint build test race chaos crash fleet-soak sketch-smoke topo-smoke kernel-equivalence cover bench
+ci: lint build test race chaos crash resume fleet-soak sketch-smoke topo-smoke kernel-equivalence cover bench

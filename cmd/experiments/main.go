@@ -49,6 +49,7 @@ func run(args []string) error {
 		summary = fs.Bool("summary", false, "print only titles and notes, not series")
 		asPlot  = fs.Bool("plot", false, "render each artifact's series as an ASCII chart")
 		tsvDir  = fs.String("tsv", "", "also write each artifact's series as TSV files into this directory")
+		ckptDir = fs.String("checkpoint-dir", "", "journal Monte-Carlo replication progress here; an interrupted regeneration resumes from completed replications")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,7 +60,8 @@ func run(args []string) error {
 		return nil
 	}
 
-	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, Workers: *workers}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick,
+		Workers: *workers, CheckpointDir: *ckptDir}
 	var results []*experiments.Result
 	switch {
 	case *all:

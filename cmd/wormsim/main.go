@@ -24,10 +24,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"wormcontain/internal/core"
@@ -36,7 +40,9 @@ import (
 	"wormcontain/internal/parallel"
 	"wormcontain/internal/rng"
 	"wormcontain/internal/sim"
+	"wormcontain/internal/simstate"
 	"wormcontain/internal/stats"
+	"wormcontain/internal/telemetry"
 	"wormcontain/internal/topo"
 )
 
@@ -74,6 +80,9 @@ func run(args []string) error {
 		runs      = fs.Int("runs", 1, "Monte-Carlo replications (replication r uses stream + r)")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "replication worker pool size (results are identical for any value)")
 		path      = fs.Bool("path", false, "print the sample path on a 60-point grid")
+		ckptDir   = fs.String("checkpoint-dir", "", "write periodic durable checkpoints to this directory (single run only)")
+		ckptInt   = fs.Duration("checkpoint-interval", 10*time.Second, "virtual-time spacing of periodic checkpoints (with -checkpoint-dir)")
+		resume    = fs.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +104,18 @@ func run(args []string) error {
 	}
 	if *runs > 1 && *path {
 		return fmt.Errorf("-path prints a single sample path; drop it or use -runs 1")
+	}
+	// Checkpoint flags fail fast, before any simulation work starts.
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir to load the checkpoint from")
+	}
+	if *ckptDir != "" {
+		if *ckptInt <= 0 {
+			return fmt.Errorf("-checkpoint-interval %v: must be positive", *ckptInt)
+		}
+		if *runs > 1 {
+			return fmt.Errorf("-checkpoint-dir checkpoints a single run; use -runs 1 (Monte-Carlo sweeps resume via the experiments journal)")
+		}
 	}
 
 	// Graph topologies are built once and shared read-only by every
@@ -206,7 +227,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(mkConfig(d, *stream))
+	var res *sim.Result
+	if *ckptDir != "" {
+		res, err = runCheckpointed(mkConfig(d, *stream), *ckptDir, *ckptInt, *resume, kind, *seed)
+		if errors.Is(err, sim.ErrStopRequested) {
+			// The interruption wrote a final checkpoint; this is a clean
+			// exit, not a failure.
+			return nil
+		}
+	} else {
+		res, err = sim.Run(mkConfig(d, *stream))
+	}
 	if err != nil {
 		return err
 	}
@@ -239,6 +270,108 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runCheckpointed executes (or resumes) one simulation with periodic
+// durable checkpoints in dirPath. SIGTERM and SIGINT request a
+// graceful stop: a final checkpoint is written and the process exits
+// cleanly, ready for a later -resume. On a stop request the returned
+// error is sim.ErrStopRequested and the partial result is discarded.
+func runCheckpointed(cfg sim.Config, dirPath string, interval time.Duration,
+	resume bool, kind des.Kind, seed uint64) (*sim.Result, error) {
+
+	dir, err := simstate.OpenPath(dirPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var ck *sim.Checkpoint
+	if resume {
+		payload, gen, err := dir.Load()
+		if errors.Is(err, simstate.ErrNoCheckpoint) {
+			return nil, fmt.Errorf("-resume: %s holds no valid checkpoint", dirPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ck, err = sim.DecodeCheckpoint(payload); err != nil {
+			return nil, fmt.Errorf("checkpoint generation %d: %w", gen, err)
+		}
+		// The library can resume across kernels and the result stays
+		// bit-identical, but flag mismatches at the CLI are almost always
+		// operator mistakes — reject them with the fix spelled out.
+		// Topology, defense and rate mismatches are caught by the
+		// checkpoint's identity check inside ResumeCheckpointed.
+		if ck.Kernel != kind {
+			return nil, fmt.Errorf("checkpoint generation %d was written with -kernel %s, not -kernel %s; rerun with -kernel %s",
+				gen, ck.Kernel, kind, ck.Kernel)
+		}
+		if ck.Seed != seed {
+			return nil, fmt.Errorf("checkpoint generation %d was written with -seed %d, not -seed %d; rerun with -seed %d",
+				gen, ck.Seed, seed, ck.Seed)
+		}
+		fmt.Printf("resume: generation %d at t=%v (%d infected, %d removed)\n",
+			gen, ck.Now, ck.TotalInfected, ck.TotalRemoved)
+	}
+
+	// SIGTERM/SIGINT set the stop flag the checkpoint loop polls between
+	// events: the run halts at an event boundary after writing a final
+	// checkpoint.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigc:
+			stop.Store(true)
+		case <-done:
+		}
+	}()
+
+	var st sim.CheckpointStats
+	opts := sim.CheckpointOptions{Sink: dir, Interval: interval, Stop: stop.Load, Stats: &st}
+	res := &sim.Result{}
+	if ck != nil {
+		err = sim.ResumeCheckpointed(cfg, nil, res, ck, opts)
+	} else {
+		err = sim.RunCheckpointed(cfg, nil, res, opts)
+	}
+	if errors.Is(err, sim.ErrStopRequested) {
+		fmt.Printf("interrupted at t=%v: generation %d saved (%d bytes); rerun with -resume to continue\n",
+			st.LastAt, st.LastGen, st.Bytes)
+		printCheckpointTelemetry(&st, res.EndTime)
+		return nil, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("checkpoints: %d writes, last generation %d at t=%v (%d bytes), max gap %v\n",
+		st.Writes, st.LastGen, st.LastAt, st.Bytes, st.MaxGap)
+	printCheckpointTelemetry(&st, res.EndTime)
+	return res, nil
+}
+
+// printCheckpointTelemetry exposes the run's checkpoint counters as
+// the wormsim_checkpoint_* series in Prometheus text format — the same
+// shape a long-running wormgate scrapes, printed here because a CLI
+// run's lifetime is one scrape.
+func printCheckpointTelemetry(st *sim.CheckpointStats, end time.Duration) {
+	reg := telemetry.NewRegistry()
+	reg.CounterFunc("wormsim_checkpoint_writes_total",
+		"Checkpoints written during the run.",
+		func() float64 { return float64(st.Writes) })
+	reg.GaugeFunc("wormsim_checkpoint_bytes",
+		"Size of the last checkpoint payload.",
+		func() float64 { return float64(st.Bytes) })
+	reg.GaugeFunc("wormsim_checkpoint_age_seconds",
+		"Virtual time between the last checkpoint and the end of the run.",
+		func() float64 { return (end - st.LastAt).Seconds() })
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wormsim: telemetry:", err)
+	}
 }
 
 // sweepOut is one replication's outcome in a -runs sweep.

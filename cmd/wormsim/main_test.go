@@ -225,6 +225,118 @@ func TestTopoRunSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// reportCore returns the deterministic tail of a wormsim report — the
+// lines from "defense:" onward — stripping the topology/kernel headers
+// and the checkpoint/telemetry block whose byte counts may differ
+// between a fresh and a resumed run.
+func reportCore(t *testing.T, out string) string {
+	t.Helper()
+	if i := strings.Index(out, "defense:"); i >= 0 {
+		return out[i:]
+	}
+	t.Fatalf("report has no defense line:\n%s", out)
+	return ""
+}
+
+// ckptScenario is a supercritical graph outbreak still mid-spread at
+// the 6s interruption horizon, so a resumed run genuinely fires new
+// events rather than replaying a finished trajectory.
+func ckptScenario(extra ...string) []string {
+	base := []string{"-v", "400", "-i0", "3", "-topology", "smallworld",
+		"-edge-rate", "-rate", "0.4", "-patch-rate", "1", "-defense", "none",
+		"-max-infected", "400", "-seed", "11"}
+	return append(base, extra...)
+}
+
+// TestRunCheckpointResumeEquivalence is the CLI half of the resume
+// contract: run to an early horizon with checkpoints, resume to the
+// full horizon, and the resumed report equals the uninterrupted run's
+// byte for byte — for both kernels, and with the final report carrying
+// the checkpoint telemetry series. The CI resume matrix re-runs it
+// across trajectory seeds via WORMSIM_RESUME_SEED; the exact write
+// count is pinned only for the default seed (other trajectories may
+// finish between interval boundaries).
+func TestRunCheckpointResumeEquivalence(t *testing.T) {
+	seed := os.Getenv("WORMSIM_RESUME_SEED")
+	defaultSeed := seed == ""
+	if defaultSeed {
+		seed = "11"
+	}
+	for _, kernel := range []string{"heap", "wheel"} {
+		dir := t.TempDir()
+		ref := captureRun(t, ckptScenario("-horizon", "40s", "-kernel", kernel,
+			"-seed", seed))
+
+		out := captureRun(t, ckptScenario("-horizon", "6s", "-kernel", kernel,
+			"-seed", seed, "-checkpoint-dir", dir, "-checkpoint-interval", "2s"))
+		if defaultSeed && !strings.Contains(out, "checkpoints: 3 writes") {
+			t.Fatalf("kernel %s: interrupted run wrote unexpected checkpoint count:\n%s", kernel, out)
+		}
+		if !strings.Contains(out, "wormsim_checkpoint_writes_total ") {
+			t.Errorf("kernel %s: telemetry series missing:\n%s", kernel, out)
+		}
+
+		resumed := captureRun(t, ckptScenario("-horizon", "40s", "-kernel", kernel,
+			"-seed", seed, "-checkpoint-dir", dir, "-resume"))
+		if !strings.Contains(resumed, "resume: generation ") {
+			t.Fatalf("kernel %s: resume header missing:\n%s", kernel, resumed)
+		}
+		if got, want := reportCore(t, resumed), reportCore(t, ref); got != want {
+			t.Errorf("kernel %s seed %s: resumed report differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s",
+				kernel, seed, want, got)
+		}
+	}
+}
+
+// TestRunCheckpointFlagValidation pins the fail-fast contract of the
+// checkpoint flags: misuse and mismatches are rejected with a clear
+// error before any simulation (or with the corrective flag spelled
+// out), never by silently producing a different trajectory.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	// A populated checkpoint directory for the mismatch cases.
+	seeded := t.TempDir()
+	captureRun(t, ckptScenario("-horizon", "6s",
+		"-checkpoint-dir", seeded, "-checkpoint-interval", "2s"))
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"resume without dir", ckptScenario("-horizon", "6s", "-resume"),
+			"-resume needs -checkpoint-dir"},
+		{"zero interval", ckptScenario("-horizon", "6s",
+			"-checkpoint-dir", t.TempDir(), "-checkpoint-interval", "0s"),
+			"must be positive"},
+		{"negative interval", ckptScenario("-horizon", "6s",
+			"-checkpoint-dir", t.TempDir(), "-checkpoint-interval", "-3s"),
+			"must be positive"},
+		{"sweep with checkpoints", append(ckptScenario("-horizon", "6s",
+			"-checkpoint-dir", t.TempDir()), "-runs", "4"),
+			"single run"},
+		{"resume from empty dir", ckptScenario("-horizon", "6s",
+			"-checkpoint-dir", t.TempDir(), "-resume"),
+			"no valid checkpoint"},
+		{"kernel mismatch", ckptScenario("-horizon", "40s", "-kernel", "wheel",
+			"-checkpoint-dir", seeded, "-resume"),
+			"written with -kernel heap"},
+		{"seed mismatch", append(ckptScenario("-horizon", "40s",
+			"-checkpoint-dir", seeded, "-resume"), "-seed", "12"),
+			"written with -seed 11"},
+		{"topology mismatch", []string{"-v", "400", "-i0", "3", "-rate", "0.4",
+			"-patch-rate", "1", "-defense", "none", "-max-infected", "400",
+			"-seed", "11", "-horizon", "40s",
+			"-checkpoint-dir", seeded, "-resume"},
+			"does not match configuration"},
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
 func TestTopoRunErrors(t *testing.T) {
 	cases := [][]string{
 		// Unknown topology name.

@@ -1,0 +1,94 @@
+package addr
+
+import (
+	"testing"
+
+	"wormcontain/internal/rng"
+)
+
+// TestRestorePopulationRoundTrip checks that a population rebuilt from
+// its exported address list answers every lookup identically to the
+// original — the checkpoint/restore contract.
+func TestRestorePopulationRoundTrip(t *testing.T) {
+	pfx := mustParsePrefix(t, "10.20.0.0/16")
+	for _, tc := range []struct {
+		v       int
+		cluster *Prefix
+	}{
+		{1, nil}, {100, nil}, {5000, &pfx},
+	} {
+		src := rng.NewPCG64(1905, 4)
+		orig, err := NewPopulation(tc.v, tc.cluster, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestorePopulation(orig.Addrs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.Size() != orig.Size() {
+			t.Fatalf("size %d != %d", restored.Size(), orig.Size())
+		}
+		for i := 0; i < orig.Size(); i++ {
+			ip := orig.Addr(i)
+			if got := restored.Addr(i); got != ip {
+				t.Fatalf("host %d: addr %v != %v", i, got, ip)
+			}
+			idx, ok := restored.Lookup(ip)
+			if !ok || idx != i {
+				t.Fatalf("host %d: lookup %v -> %d %v", i, ip, idx, ok)
+			}
+		}
+		// Misses stay misses.
+		probe := rng.NewPCG64(3, 3)
+		for k := 0; k < 1000; k++ {
+			ip := IP(rng.Uint64n(probe, SpaceSize))
+			wantIdx, want := orig.Lookup(ip)
+			gotIdx, got := restored.Lookup(ip)
+			if want != got || (want && wantIdx != gotIdx) {
+				t.Fatalf("lookup %v: restored (%d,%v) != original (%d,%v)",
+					ip, gotIdx, got, wantIdx, want)
+			}
+		}
+	}
+}
+
+// TestRestoreAddrsReuse checks the in-place restore over a previously
+// populated arena, including a shrink, and the duplicate rejection.
+func TestRestoreAddrsReuse(t *testing.T) {
+	src := rng.NewPCG64(7, 0)
+	p, err := NewPopulation(4096, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []IP{9, 1, 5, 0xffffffff}
+	if err := p.RestoreAddrs(small); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != len(small) {
+		t.Fatalf("size = %d, want %d", p.Size(), len(small))
+	}
+	for i, ip := range small {
+		if idx, ok := p.Lookup(ip); !ok || idx != i {
+			t.Fatalf("lookup %v -> %d %v, want %d", ip, idx, ok, i)
+		}
+	}
+	if _, ok := p.Lookup(2); ok {
+		t.Fatal("stale entry survived restore")
+	}
+	if err := p.RestoreAddrs([]IP{1, 2, 1}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if err := p.RestoreAddrs(nil); err == nil {
+		t.Fatal("empty restore accepted")
+	}
+}
+
+func mustParsePrefix(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -125,6 +125,57 @@ func (p *Population) Repopulate(v int, clusterPrefix *Prefix, src rng.Source) er
 	return nil
 }
 
+// RestoreAddrs rebuilds the population in place from an explicit
+// address list in host-index order — the checkpoint-restore path. The
+// same buffers Repopulate reuses are reused here; no randomness is
+// consumed. A duplicate address is rejected: it cannot have come from
+// a valid draw, so it marks a corrupt checkpoint.
+func (p *Population) RestoreAddrs(addrs []IP) error {
+	v := len(addrs)
+	if v < 1 {
+		return fmt.Errorf("addr: restore of empty population")
+	}
+	if v > 1<<31-1 {
+		return fmt.Errorf("addr: population %d exceeds index capacity", v)
+	}
+	if cap(p.addrs) < v {
+		p.addrs = make([]IP, 0, v)
+	} else {
+		p.addrs = p.addrs[:0]
+	}
+	if n := tableSize(v); len(p.keys) < n {
+		p.keys = make([]IP, n)
+		p.vals = make([]int32, n)
+		p.mask = uint32(n - 1)
+	}
+	for i := range p.vals {
+		p.vals[i] = -1
+	}
+	for _, ip := range addrs {
+		h := hashIP(ip) & p.mask
+		for p.vals[h] >= 0 {
+			if p.keys[h] == ip {
+				return fmt.Errorf("addr: restore with duplicate address %v", ip)
+			}
+			h = (h + 1) & p.mask
+		}
+		p.keys[h] = ip
+		p.vals[h] = int32(len(p.addrs))
+		p.addrs = append(p.addrs, ip)
+	}
+	return nil
+}
+
+// RestorePopulation constructs a Population from an explicit address
+// list in host-index order (see RestoreAddrs).
+func RestorePopulation(addrs []IP) (*Population, error) {
+	p := &Population{}
+	if err := p.RestoreAddrs(addrs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Size returns the number of vulnerable hosts.
 func (p *Population) Size() int { return len(p.addrs) }
 
@@ -157,6 +208,13 @@ func (p *Population) Addrs() []IP {
 	out := make([]IP, len(p.addrs))
 	copy(out, p.addrs)
 	return out
+}
+
+// AppendAddrs appends every host address in index order to dst and
+// returns the extended slice — the allocation-free snapshot form of
+// Addrs for callers that reuse a buffer across checkpoints.
+func (p *Population) AppendAddrs(dst []IP) []IP {
+	return append(dst, p.addrs...)
 }
 
 // Memory returns the structure's approximate resident size in bytes

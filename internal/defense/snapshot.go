@@ -1,0 +1,253 @@
+package defense
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/core"
+	"wormcontain/internal/rng"
+)
+
+// Snapshotter is the optional Defense capability simulation checkpoints
+// require: export the defense's complete mutable state as a canonical
+// byte blob, and restore it into a freshly constructed instance of the
+// same configuration. Canonical means deterministic — identical states
+// serialize to identical bytes (maps are emitted in sorted key order) —
+// so checkpoint payloads are content-comparable.
+//
+// The configuration itself (M, working-set size, detection probability,
+// ...) is NOT part of the snapshot contract: the restorer constructs
+// the defense from configuration first (the checkpoint's identity
+// header pins it via Name()) and RestoreState then overlays the mutable
+// counters.
+type Snapshotter interface {
+	// SnapshotState serializes the defense's mutable state.
+	SnapshotState() ([]byte, error)
+	// RestoreState overlays a state captured by SnapshotState on an
+	// equally configured instance.
+	RestoreState(data []byte) error
+}
+
+var (
+	_ Snapshotter = Null{}
+	_ Snapshotter = (*MLimit)(nil)
+	_ Snapshotter = (*Throttle)(nil)
+	_ Snapshotter = (*Quarantine)(nil)
+)
+
+// SnapshotState implements Snapshotter: the null defense has no state.
+func (Null) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements Snapshotter.
+func (Null) RestoreState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("defense: null defense restore with %d bytes of state", len(data))
+	}
+	return nil
+}
+
+// SnapshotState implements Snapshotter by delegating to the limiter's
+// deterministic state marshaling (the same format the durable WAL
+// snapshots, so an M-limit checkpoint is exactly a limiter snapshot).
+func (d *MLimit) SnapshotState() ([]byte, error) {
+	return d.limiter.MarshalState()
+}
+
+// RestoreState implements Snapshotter. The snapshot carries the limiter
+// configuration; it must match the receiver's, so a checkpoint cannot
+// silently swap containment parameters mid-run.
+func (d *MLimit) RestoreState(data []byte) error {
+	lim, err := core.RestoreLimiter(data)
+	if err != nil {
+		return fmt.Errorf("defense: m-limit restore: %w", err)
+	}
+	if got, want := lim.Config(), d.limiter.Config(); got != want {
+		return fmt.Errorf("defense: m-limit restore config %+v != configured %+v", got, want)
+	}
+	d.limiter = lim
+	return nil
+}
+
+// Binary snapshot layout helpers: little-endian, length-prefixed,
+// bounds-checked on read. The per-defense formats below are versioned
+// with a leading byte so a future layout change fails loudly.
+
+const (
+	throttleSnapVersion   = 1
+	quarantineSnapVersion = 1
+)
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(1)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapReader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(4)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *snapReader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(8)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *snapReader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("defense: snapshot truncated (need %d bytes, have %d)", n, len(r.b))
+	}
+}
+
+func (r *snapReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("defense: snapshot has %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+// SnapshotState implements Snapshotter: per-host working sets and delay
+// queues, emitted in ascending source-address order.
+func (th *Throttle) SnapshotState() ([]byte, error) {
+	srcs := make([]addr.IP, 0, len(th.perHost))
+	for ip := range th.perHost {
+		srcs = append(srcs, ip)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	b := appendU8(nil, throttleSnapVersion)
+	b = appendU32(b, uint32(len(srcs)))
+	for _, ip := range srcs {
+		st := th.perHost[ip]
+		b = appendU32(b, uint32(ip))
+		b = appendU64(b, uint64(st.nextFree))
+		b = appendU32(b, uint32(len(st.recent)))
+		for _, d := range st.recent {
+			b = appendU32(b, uint32(d))
+		}
+	}
+	return b, nil
+}
+
+// RestoreState implements Snapshotter.
+func (th *Throttle) RestoreState(data []byte) error {
+	r := &snapReader{b: data}
+	if v := r.u8(); r.err == nil && v != throttleSnapVersion {
+		return fmt.Errorf("defense: throttle snapshot version %d, want %d", v, throttleSnapVersion)
+	}
+	n := r.u32()
+	perHost := make(map[addr.IP]*throttleState, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ip := addr.IP(r.u32())
+		st := &throttleState{nextFree: time.Duration(r.u64())}
+		k := r.u32()
+		if r.err == nil && int(k) > th.workingSet {
+			return fmt.Errorf("defense: throttle snapshot working set %d exceeds configured %d",
+				k, th.workingSet)
+		}
+		for j := uint32(0); j < k && r.err == nil; j++ {
+			st.recent = append(st.recent, addr.IP(r.u32()))
+		}
+		if _, dup := perHost[ip]; dup {
+			return fmt.Errorf("defense: throttle snapshot duplicates host %v", ip)
+		}
+		perHost[ip] = st
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	th.perHost = perHost
+	return nil
+}
+
+// SnapshotState implements Snapshotter: the quarantine windows, alarm
+// count and the detector's RNG position. The randomness source must be
+// an *rng.PCG64 (what NewQuarantine is given everywhere in this
+// repository) — an opaque Source cannot be checkpointed.
+func (q *Quarantine) SnapshotState() ([]byte, error) {
+	src, ok := q.src.(*rng.PCG64)
+	if !ok {
+		return nil, fmt.Errorf("defense: quarantine source %T is not checkpointable (need *rng.PCG64)", q.src)
+	}
+	st := src.State()
+	b := appendU8(nil, quarantineSnapVersion)
+	b = appendU64(b, st.Hi)
+	b = appendU64(b, st.Lo)
+	b = appendU64(b, st.IncHi)
+	b = appendU64(b, st.IncLo)
+	b = appendU64(b, uint64(q.alarms))
+	srcs := make([]addr.IP, 0, len(q.until))
+	for ip := range q.until {
+		srcs = append(srcs, ip)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	b = appendU32(b, uint32(len(srcs)))
+	for _, ip := range srcs {
+		b = appendU32(b, uint32(ip))
+		b = appendU64(b, uint64(q.until[ip]))
+	}
+	return b, nil
+}
+
+// RestoreState implements Snapshotter.
+func (q *Quarantine) RestoreState(data []byte) error {
+	src, ok := q.src.(*rng.PCG64)
+	if !ok {
+		return fmt.Errorf("defense: quarantine source %T is not checkpointable (need *rng.PCG64)", q.src)
+	}
+	r := &snapReader{b: data}
+	if v := r.u8(); r.err == nil && v != quarantineSnapVersion {
+		return fmt.Errorf("defense: quarantine snapshot version %d, want %d", v, quarantineSnapVersion)
+	}
+	st := rng.PCG64State{Hi: r.u64(), Lo: r.u64(), IncHi: r.u64(), IncLo: r.u64()}
+	alarms := r.u64()
+	if r.err == nil && alarms > math.MaxInt32 {
+		return fmt.Errorf("defense: quarantine snapshot alarm count %d out of range", alarms)
+	}
+	n := r.u32()
+	until := make(map[addr.IP]time.Duration, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ip := addr.IP(r.u32())
+		t := time.Duration(r.u64())
+		if _, dup := until[ip]; dup {
+			return fmt.Errorf("defense: quarantine snapshot duplicates host %v", ip)
+		}
+		until[ip] = t
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	src.SetState(st)
+	q.alarms = int(alarms)
+	q.until = until
+	return nil
+}

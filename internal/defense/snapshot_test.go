@@ -1,0 +1,169 @@
+package defense
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wormcontain/internal/addr"
+	"wormcontain/internal/rng"
+)
+
+// snapshotScenario drives a defense with a deterministic scan stream.
+type snapshotScenario struct {
+	name    string
+	mk      func(t *testing.T) Defense
+	streams int // distinct sources
+}
+
+func snapshotScenarios() []snapshotScenario {
+	return []snapshotScenario{
+		{
+			name:    "null",
+			mk:      func(t *testing.T) Defense { return Null{} },
+			streams: 8,
+		},
+		{
+			name: "m-limit",
+			mk: func(t *testing.T) Defense {
+				d, err := NewMLimit(12, 365*24*time.Hour)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			},
+			streams: 24,
+		},
+		{
+			name:    "throttle",
+			mk:      func(t *testing.T) Defense { return NewWilliamsonThrottle() },
+			streams: 16,
+		},
+		{
+			name: "quarantine",
+			mk: func(t *testing.T) Defense {
+				q, err := NewQuarantine(0.05, 500*time.Millisecond, rng.NewPCG64(1905, 2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return q
+			},
+			streams: 16,
+		},
+	}
+}
+
+// driveScans applies n deterministic scans and returns the verdict
+// trace.
+func driveScans(d Defense, streams, n int, tOff time.Duration) []Verdict {
+	src := rng.NewSplitMix64(7)
+	out := make([]Verdict, 0, n)
+	for i := 0; i < n; i++ {
+		s := addr.IP(rng.Uint64n(src, uint64(streams)))
+		dst := addr.IP(rng.Uint64n(src, 64))
+		t := tOff + time.Duration(i)*17*time.Millisecond
+		out = append(out, d.OnScan(s, dst, t))
+	}
+	return out
+}
+
+// TestDefenseSnapshotRoundTrip checkpoints each defense mid-stream,
+// restores onto a freshly configured instance, and requires the
+// continuation verdicts to match the uninterrupted run exactly. It
+// also pins snapshot determinism: identical state, identical bytes.
+func TestDefenseSnapshotRoundTrip(t *testing.T) {
+	for _, sc := range snapshotScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			// Uninterrupted reference.
+			ref := sc.mk(t)
+			pre := driveScans(ref, sc.streams, 300, 0)
+			post := driveScans(ref, sc.streams, 300, 300*17*time.Millisecond)
+
+			// Checkpointed run: same prefix, snapshot, restore, suffix.
+			orig := sc.mk(t)
+			gotPre := driveScans(orig, sc.streams, 300, 0)
+			for i := range pre {
+				if gotPre[i] != pre[i] {
+					t.Fatalf("prefix diverged at %d (deterministic defense broken)", i)
+				}
+			}
+			snap1, err := orig.(Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap2, err := orig.(Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap1, snap2) {
+				t.Fatal("snapshot is not deterministic")
+			}
+
+			restored := sc.mk(t)
+			if err := restored.(Snapshotter).RestoreState(snap1); err != nil {
+				t.Fatal(err)
+			}
+			// The restored instance re-snapshots to the same bytes.
+			snap3, err := restored.(Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap1, snap3) {
+				t.Fatal("restored state re-snapshots differently")
+			}
+			gotPost := driveScans(restored, sc.streams, 300, 300*17*time.Millisecond)
+			for i := range post {
+				if gotPost[i] != post[i] {
+					t.Fatalf("continuation diverged at scan %d: %+v != %+v",
+						i, gotPost[i], post[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDefenseSnapshotRejectsGarbage checks the decoders fail cleanly on
+// truncated or oversized input instead of panicking or over-reading.
+func TestDefenseSnapshotRejectsGarbage(t *testing.T) {
+	for _, sc := range snapshotScenarios() {
+		if sc.name == "null" {
+			continue
+		}
+		t.Run(sc.name, func(t *testing.T) {
+			d := sc.mk(t)
+			driveScans(d, sc.streams, 200, 0)
+			snap, err := d.(Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := 0; cut < len(snap); cut++ {
+				fresh := sc.mk(t)
+				if err := fresh.(Snapshotter).RestoreState(snap[:cut]); err == nil {
+					t.Fatalf("truncation at %d accepted", cut)
+				}
+			}
+			fresh := sc.mk(t)
+			if err := fresh.(Snapshotter).RestoreState(append(append([]byte{}, snap...), 0)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+	if err := (Null{}).RestoreState([]byte{1}); err == nil {
+		t.Fatal("null defense accepted non-empty state")
+	}
+}
+
+// TestQuarantineSnapshotNeedsPCG64 pins the clear error for an opaque
+// randomness source.
+func TestQuarantineSnapshotNeedsPCG64(t *testing.T) {
+	q, err := NewQuarantine(0.1, time.Second, rng.NewSplitMix64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SnapshotState(); err == nil {
+		t.Fatal("snapshot of SplitMix64-backed quarantine accepted")
+	}
+	if err := q.RestoreState(nil); err == nil {
+		t.Fatal("restore into SplitMix64-backed quarantine accepted")
+	}
+}

@@ -46,6 +46,20 @@ type Options struct {
 	// backend; both backends produce byte-identical artifacts — pinned
 	// by TestKernelArtifactParity — so Kernel trades wall-clock only.
 	Kernel des.Kind
+	// CheckpointDir, when non-empty, makes the Monte-Carlo runners
+	// journal every completed replication's outcome to a per-artifact
+	// progress file in this directory. A rerun with the same
+	// configuration resumes: journaled replications are merged back
+	// without re-simulating and only the remainder runs — the merged
+	// result is byte-identical to an uninterrupted run, because
+	// replication r is always pinned to RNG stream r. A configuration
+	// change (different worm, seed, or sizes) resets the journal.
+	CheckpointDir string
+	// CheckpointEvery is the group-commit cadence of the progress
+	// journal in replications: outcomes are fsynced at least this often,
+	// bounding what a crash can lose. Zero or negative selects the
+	// default of 64.
+	CheckpointEvery int
 }
 
 // normalize fills defaults.
@@ -62,6 +76,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = parallel.DefaultWorkers()
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
 	}
 	return o
 }

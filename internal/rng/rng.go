@@ -66,6 +66,15 @@ func (s *SplitMix64) Float64() float64 {
 	return float64FromBits(s.Uint64())
 }
 
+// State exports the generator's complete internal state. Together with
+// SetState it lets a checkpoint capture a generator mid-stream and a
+// restore continue the exact draw sequence.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState restores a state previously obtained from State. Any uint64
+// is a valid SplitMix64 state.
+func (s *SplitMix64) SetState(state uint64) { s.state = state }
+
 // PCG64 is the pcg64_xsl_rr_128_64 generator of O'Neill (2014): a 128-bit
 // linear congruential generator with an xor-shift-low/random-rotation
 // output permutation. It is the workhorse Source for all simulations: it
@@ -171,6 +180,29 @@ func (p *PCG64) Uint64() uint64 {
 // Float64 returns a uniform float64 in [0, 1).
 func (p *PCG64) Float64() float64 {
 	return float64FromBits(p.Uint64())
+}
+
+// PCG64State is the complete exported state of a PCG64 generator: the
+// 128-bit LCG position and the 128-bit odd stream increment. It is a
+// plain value, so checkpoint formats can serialize it field by field.
+type PCG64State struct {
+	Hi, Lo       uint64 // 128-bit LCG state
+	IncHi, IncLo uint64 // 128-bit odd increment (stream selector)
+}
+
+// State exports the generator's complete internal state mid-stream.
+// SetState on any PCG64 reproduces the identical remaining draw
+// sequence — the checkpoint/restore primitive.
+func (p *PCG64) State() PCG64State {
+	return PCG64State{Hi: p.hi, Lo: p.lo, IncHi: p.incHi, IncLo: p.incLo}
+}
+
+// SetState restores a state previously obtained from State. The
+// increment's low bit is forced odd, the one structural invariant PCG64
+// requires; every other bit pattern is a valid state.
+func (p *PCG64) SetState(st PCG64State) {
+	p.hi, p.lo = st.Hi, st.Lo
+	p.incHi, p.incLo = st.IncHi, st.IncLo|1
 }
 
 // Split derives a new, statistically independent PCG64 stream from the

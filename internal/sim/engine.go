@@ -150,6 +150,14 @@ type Config struct {
 	Kernel des.Kind
 	// Seed and Stream select the deterministic random stream.
 	Seed, Stream uint64
+	// Invariants, when non-nil, audits the run as it executes: monotone
+	// event clock, no scan executed by a removed host, infected+removed
+	// never exceeding V, and (at every checkpoint cut and at the end of
+	// the run) counters consistent with the packed bitsets. Violations
+	// are collected on the checker and surfaced as an error when the
+	// run finishes. The checker consumes no randomness and schedules no
+	// events, so enabling it never changes a trajectory.
+	Invariants *InvariantChecker
 	// RecordPaths enables the time-series sample paths (Figs. 9–10);
 	// leave off for Monte-Carlo throughput.
 	RecordPaths bool
@@ -285,6 +293,24 @@ type engine struct {
 	scanFn     des.ArgHandler // scanAttempt
 	patchFn    des.ArgHandler // patchFire
 	immunizeFn des.ArgHandler // immunizeFire
+	deliverFn  des.ArgHandler // deliverFire
+
+	// In-flight delayed deliveries (the throttle's Delay verdict): the
+	// event carries a slot index into pendDeliv instead of capturing
+	// (src, dst, parent) in a closure, so delayed deliveries are
+	// argument-form events too — allocation-free on the wheel backend
+	// and exportable by checkpoints. freeDeliv recycles fired slots;
+	// its order is part of the simulation state (it decides which slot
+	// the next delay occupies), so checkpoints capture both.
+	pendDeliv []pendingDelivery
+	freeDeliv []int32
+}
+
+// pendingDelivery is one delayed scan in flight between the defense's
+// Delay verdict and its deliverFire event.
+type pendingDelivery struct {
+	src, dst addr.IP
+	parent   int32
 }
 
 // Scratch is the reusable arena for RunWith: the event-kernel node pool,
@@ -314,6 +340,7 @@ func (s *Scratch) init() {
 	e.scanFn = e.scanAttempt
 	e.patchFn = e.patchFire
 	e.immunizeFn = e.immunizeFire
+	e.deliverFn = e.deliverFire
 }
 
 // grow returns s resized to n zeroed elements, reallocating only when
@@ -374,8 +401,27 @@ func RunWith(cfg Config, scratch *Scratch) (*Result, error) {
 // allocation — the regime the SimRun10M benchmark gates. All other
 // fields of res are overwritten.
 func RunInto(cfg Config, scratch *Scratch, res *Result) error {
-	if err := cfg.validate(); err != nil {
+	e, background, err := setupRun(cfg, scratch, res)
+	if err != nil {
 		return err
+	}
+	if e.cfg.Horizon > 0 {
+		e.sim.RunUntil(e.cfg.Horizon)
+	} else {
+		e.sim.Run()
+	}
+	return e.finishRun(background)
+}
+
+// setupRun validates the configuration and prepares the engine for
+// event execution: arena wiring, RNG seeding, population draw, kernel
+// configuration, host state, outbreak seeding and countermeasure
+// start-up — everything RunInto does before the event loop, shared with
+// the checkpointing runner. On success the engine holds res and is
+// ready to fire events.
+func setupRun(cfg Config, scratch *Scratch, res *Result) (*engine, *backgroundDriver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
 	}
 	if scratch == nil {
 		scratch = NewScratch()
@@ -392,11 +438,11 @@ func RunInto(cfg Config, scratch *Scratch, res *Result) error {
 	if e.pop == nil {
 		pop, err := addr.NewPopulation(cfg.V, cfg.ClusterPrefix, src)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		e.pop = pop
 	} else if err := e.pop.Repopulate(cfg.V, cfg.ClusterPrefix, src); err != nil {
-		return err
+		return nil, nil, err
 	}
 	e.cfg = cfg
 	e.sim.Reset()
@@ -431,6 +477,8 @@ func RunInto(cfg Config, scratch *Scratch, res *Result) error {
 	} else {
 		e.scanner = grow(e.scanner, cfg.V)
 	}
+	e.pendDeliv = e.pendDeliv[:0]
+	e.freeDeliv = e.freeDeliv[:0]
 
 	// Seed the outbreak (hosts 0..I0-1 are generation 0) and the
 	// immunization process with batched admission: the events are
@@ -450,19 +498,25 @@ func RunInto(cfg Config, scratch *Scratch, res *Result) error {
 		background = newBackgroundDriver(
 			e.sim, cfg.Defense, *cfg.Background, cfg.Horizon, cfg.Seed, cfg.Stream)
 	}
+	return e, background, nil
+}
 
-	if cfg.Horizon > 0 {
-		e.sim.RunUntil(cfg.Horizon)
-	} else {
-		e.sim.Run()
-	}
+// finishRun records the run's terminal observables and detaches the
+// caller's Result, then surfaces any invariant violations the run
+// accumulated. Shared by RunInto and the checkpointing runner.
+func (e *engine) finishRun(background *backgroundDriver) error {
 	e.res.EndTime = e.sim.Now()
 	e.res.Extinct = e.state.active == 0
 	if background != nil {
 		e.res.Background = background.finalize()
 	}
+	var err error
+	if ic := e.cfg.Invariants; ic != nil {
+		ic.checkCut(e)
+		err = ic.Err()
+	}
 	e.res = nil // never retain the caller's Result across runs
-	return nil
+	return err
 }
 
 // configureKernel applies the run's kernel selection, deriving the
@@ -660,6 +714,10 @@ func (e *engine) scanAttempt(i int) {
 		return
 	}
 	now := e.sim.Now()
+	if ic := e.cfg.Invariants; ic != nil {
+		ic.observeEvent(now)
+		ic.observeScan(e, i)
+	}
 	srcIP := e.pop.Addr(i)
 	e.res.TotalScans++
 
@@ -693,13 +751,7 @@ func (e *engine) scanAttempt(i int) {
 			m.delayed.Inc()
 		}
 		if !e.guardEvents() {
-			e.sim.Schedule(v.Delay, func() {
-				e.res.Delivered++
-				if m := e.metrics; m != nil {
-					m.delivered.Inc()
-				}
-				e.deliver(srcIP, dst, i)
-			})
+			e.sim.Emit(v.Delay, e.deliverFn, e.allocDeliv(srcIP, dst, i))
 		}
 		e.scheduleNextScan(i)
 	case defense.Drop:
@@ -724,6 +776,36 @@ func (e *engine) scanAttempt(i int) {
 	default:
 		panic(fmt.Sprintf("sim: unknown defense action %v", v.Action))
 	}
+}
+
+// allocDeliv files a delayed delivery into the slot table, recycling a
+// freed slot when one is available, and returns its index — the
+// argument the deliverFire event carries.
+func (e *engine) allocDeliv(src, dst addr.IP, parent int) int {
+	d := pendingDelivery{src: src, dst: dst, parent: int32(parent)}
+	if n := len(e.freeDeliv); n > 0 {
+		slot := e.freeDeliv[n-1]
+		e.freeDeliv = e.freeDeliv[:n-1]
+		e.pendDeliv[slot] = d
+		return int(slot)
+	}
+	e.pendDeliv = append(e.pendDeliv, d)
+	return len(e.pendDeliv) - 1
+}
+
+// deliverFire is the delayed-delivery event: the throttled scan reaches
+// its target after the defense's queueing delay.
+func (e *engine) deliverFire(slot int) {
+	if ic := e.cfg.Invariants; ic != nil {
+		ic.observeEvent(e.sim.Now())
+	}
+	d := e.pendDeliv[slot]
+	e.freeDeliv = append(e.freeDeliv, int32(slot))
+	e.res.Delivered++
+	if m := e.metrics; m != nil {
+		m.delivered.Inc()
+	}
+	e.deliver(d.src, d.dst, int(d.parent))
 }
 
 // deliver lands a scan from host parent on dst at the current time: a

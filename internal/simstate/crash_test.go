@@ -1,0 +1,211 @@
+package simstate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wormcontain/internal/faultfs"
+)
+
+// dirCampaign drives one deterministic Save sequence against a Dir,
+// stopping at the first failed operation, and returns how many saves
+// completed.
+func dirCampaign(d *Dir, payloads [][]byte) int {
+	ok := 0
+	for _, p := range payloads {
+		if _, err := d.Save(p); err != nil {
+			break
+		}
+		ok++
+	}
+	return ok
+}
+
+// TestDirCrashSweep kills the filesystem at every injectable operation
+// of a multi-generation checkpoint campaign and proves the recovery
+// invariant: after crash and restart, Load returns exactly the payload
+// of the last Save that was acknowledged — the atomic rename is the
+// publication point, so an interrupted Save never surfaces and a
+// completed one never disappears — and the directory keeps accepting
+// checkpoints afterwards.
+func TestDirCrashSweep(t *testing.T) {
+	const seed = 0x5151
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		payloads[i] = payloadN(i)
+	}
+
+	// Fault-free campaign: count the injectable operations to sweep.
+	inj := faultfs.NewInjector(faultfs.Profile{}, seed)
+	if got := dirCampaign(Open(faultfs.NewMem(inj)), payloads); got != len(payloads) {
+		t.Fatalf("fault-free campaign completed %d/%d saves", got, len(payloads))
+	}
+	totalOps := inj.Ops()
+	if totalOps == 0 {
+		t.Fatal("campaign performed no injectable operations")
+	}
+
+	for n := uint64(1); n <= totalOps; n++ {
+		inj := faultfs.NewInjector(faultfs.Profile{}, seed)
+		inj.SetCrashAt(n)
+		mem := faultfs.NewMem(inj)
+		// A crash in a final Save's best-effort GC tail still lets the
+		// campaign complete — Save acknowledges at the rename, so acked
+		// may legitimately reach len(payloads).
+		acked := dirCampaign(Open(mem), payloads)
+		mem.Crash()
+		mem.Reopen()
+
+		// Recovery: the newest acknowledged payload, nothing else.
+		d := Open(mem)
+		got, _, err := d.Load()
+		if acked == 0 {
+			if !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("crash at op %d before first publish: Load err %v, want ErrNoCheckpoint", n, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("crash at op %d: Load failed: %v", n, err)
+			}
+			if !bytes.Equal(got, payloads[acked-1]) {
+				t.Fatalf("crash at op %d: Load returned payload %q, want save %d", n, got, acked-1)
+			}
+		}
+
+		// The directory is never unrecoverable: the remaining campaign
+		// completes and the final state matches the fault-free one.
+		if rest := dirCampaign(d, payloads[acked:]); rest != len(payloads)-acked {
+			t.Fatalf("crash at op %d: post-recovery campaign completed %d/%d", n, rest, len(payloads)-acked)
+		}
+		got, _, err = d.Load()
+		if err != nil || !bytes.Equal(got, payloads[len(payloads)-1]) {
+			t.Fatalf("crash at op %d: final Load %q, %v", n, got, err)
+		}
+		gens, err := d.Generations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gens) > keepGenerations+1 {
+			t.Fatalf("crash at op %d: GC left %d generations: %v", n, len(gens), gens)
+		}
+	}
+}
+
+// journalCampaign opens the journal, appends records from the replayed
+// position onward with a per-record group commit, and closes. It
+// returns the durably acknowledged record count (replayed records plus
+// successful syncs) and the appended count, stopping at the first
+// error.
+func journalCampaign(mem *faultfs.Mem, records [][]byte) (acked, appended int) {
+	j, replayed, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		return 0, 0
+	}
+	acked, appended = len(replayed), len(replayed)
+	for i := len(replayed); i < len(records); i++ {
+		if err := j.Append(records[i]); err != nil {
+			return acked, appended
+		}
+		appended++
+		if err := j.Sync(); err != nil {
+			return acked, appended
+		}
+		acked++
+	}
+	if err := j.Close(); err != nil {
+		return acked, appended
+	}
+	return acked, appended
+}
+
+// TestJournalCrashSweep kills the filesystem at every injectable
+// operation of an append campaign and proves the journal's recovery
+// invariant: replay yields a clean prefix of the record sequence, at
+// least every record whose Sync was acknowledged and at most every
+// record appended — and the journal keeps accepting appends afterwards.
+func TestJournalCrashSweep(t *testing.T) {
+	records := make([][]byte, 8)
+	for i := range records {
+		records[i] = recordN(i)
+	}
+
+	inj := faultfs.NewInjector(faultfs.Profile{}, 0xa11)
+	memClean := faultfs.NewMem(inj)
+	if acked, _ := journalCampaign(memClean, records); acked != len(records) {
+		t.Fatalf("fault-free campaign acked %d/%d records", acked, len(records))
+	}
+	totalOps := inj.Ops()
+
+	for n := uint64(1); n <= totalOps; n++ {
+		inj := faultfs.NewInjector(faultfs.Profile{}, 0xa11)
+		inj.SetCrashAt(n)
+		mem := faultfs.NewMem(inj)
+		acked, appended := journalCampaign(mem, records)
+		mem.Crash()
+		mem.Reopen()
+
+		_, replayed, err := OpenJournal(mem, "mc.journal")
+		if err != nil {
+			t.Fatalf("crash at op %d: recovery open failed: %v", n, err)
+		}
+		if len(replayed) < acked || len(replayed) > appended {
+			t.Fatalf("crash at op %d: replayed %d records, want within [%d, %d]",
+				n, len(replayed), acked, appended)
+		}
+		for i, rec := range replayed {
+			if !bytes.Equal(rec, records[i]) {
+				t.Fatalf("crash at op %d: replayed record %d = %q, want %q", n, i, rec, records[i])
+			}
+		}
+
+		// Continue to completion on the recovered journal.
+		if acked2, _ := journalCampaign(mem, records); acked2 != len(records) {
+			t.Fatalf("crash at op %d: post-recovery campaign acked %d/%d", n, acked2, len(records))
+		}
+		_, final, err := OpenJournal(mem, "mc.journal")
+		if err != nil || len(final) != len(records) {
+			t.Fatalf("crash at op %d: final replay %d records, err %v", n, len(final), err)
+		}
+	}
+}
+
+// TestDirShortWriteRetry drives the Save campaign through a filesystem
+// that injects short writes (full-disk style failures without a crash):
+// a failed Save must leave the previous generation loadable and the
+// next Save must succeed cleanly.
+func TestDirShortWriteRetry(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.Profile{ShortWrite: 0.3}, 7)
+	d := Open(faultfs.NewMem(inj))
+	var last []byte
+	saved, failed := 0, 0
+	for i := 0; i < 40; i++ {
+		p := payloadN(i)
+		if _, err := d.Save(p); err != nil {
+			failed++
+			var ie *faultfs.InjectedError
+			if !errors.As(err, &ie) {
+				t.Fatalf("save %d: unexpected error type: %v", i, err)
+			}
+		} else {
+			saved++
+			last = p
+		}
+		got, _, err := d.Load()
+		if saved == 0 {
+			if !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("save %d: %v", i, err)
+			}
+			continue
+		}
+		if err != nil || !bytes.Equal(got, last) {
+			t.Fatalf("after save %d: Load %q err %v, want last acknowledged payload", i, got, err)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("short-write profile injected no failures; raise the probability")
+	}
+	if saved == 0 {
+		t.Fatal("every save failed; the retry path was never exercised")
+	}
+}

@@ -1,0 +1,179 @@
+package simstate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"wormcontain/internal/faultfs"
+)
+
+// maxJournalRecord bounds one journal record's payload so a corrupt
+// length field cannot make the reader skip the rest of the log in one
+// hop: real records (a header plus per-replication outcomes) are tens
+// of bytes.
+const maxJournalRecord = 1 << 16
+
+// Journal is a CRC-framed append log of small records — the progress
+// ledger a resumable Monte-Carlo experiment writes one record per
+// completed replication. OpenJournal replays the valid prefix and
+// republishes it as a clean file, so a torn tail from a crash is
+// truncated at a record boundary exactly once and never appended past.
+//
+// Failures are sticky: after the first write or sync error every later
+// Append/Sync/Close returns it — appending after a possibly-torn frame
+// would put records where recovery cannot reach them.
+type Journal struct {
+	fsys     faultfs.FS
+	name     string
+	f        faultfs.File
+	err      error
+	appended int
+	synced   int
+}
+
+// OpenJournal opens (creating if absent) the journal file name inside
+// fsys and returns it together with the records of the valid prefix.
+// The valid prefix is rewritten through a temp file and an atomic
+// rename before appending resumes, so the on-disk file always starts
+// at a clean record boundary.
+func OpenJournal(fsys faultfs.FS, name string) (*Journal, [][]byte, error) {
+	data, err := fsys.ReadFile(name)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("simstate: read journal %s: %w", name, err)
+	}
+	valid, records := decodeJournal(data)
+	// Republish the valid prefix unconditionally: this truncates any
+	// torn tail and clears a stray temp file from an interrupted
+	// previous open in the same motion.
+	tmp := name + tmpSuffix
+	if err := writeFileSync(fsys, tmp, data[:valid]); err != nil {
+		return nil, nil, fmt.Errorf("simstate: rewrite journal %s: %w", name, err)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return nil, nil, fmt.Errorf("simstate: publish journal %s: %w", name, err)
+	}
+	f, err := fsys.Append(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("simstate: open journal %s for append: %w", name, err)
+	}
+	j := &Journal{fsys: fsys, name: name, f: f, appended: len(records), synced: len(records)}
+	return j, records, nil
+}
+
+// decodeJournal scans data front to back and returns the byte length
+// of the valid prefix plus copies of its record payloads. Like
+// durable's WAL decoder it never reads past the first invalid frame: a
+// torn tail, flipped bit, truncated header or absurd length all
+// terminate the scan at a clean record boundary.
+func decodeJournal(data []byte) (validBytes int, records [][]byte) {
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest < frameHeader {
+			return off, records
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n == 0 || n > maxJournalRecord || int(n) > rest-frameHeader {
+			return off, records
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			return off, records
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += frameHeader + int(n)
+	}
+}
+
+// Append frames payload and writes it to the journal. The record is
+// readable after the next Sync survives; a crash before that loses it
+// cleanly (the reader truncates at the record boundary).
+func (j *Journal) Append(payload []byte) error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(payload) == 0 || len(payload) > maxJournalRecord {
+		return fmt.Errorf("simstate: journal record of %d bytes (must be 1..%d)", len(payload), maxJournalRecord)
+	}
+	buf := appendFrame(nil, payload)
+	for len(buf) > 0 {
+		n, err := j.f.Write(buf)
+		if err != nil {
+			j.err = fmt.Errorf("simstate: journal append: %w", err)
+			return j.err
+		}
+		buf = buf[n:]
+	}
+	j.appended++
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (j *Journal) Sync() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("simstate: journal sync: %w", err)
+		return j.err
+	}
+	j.synced = j.appended
+	return nil
+}
+
+// Appended returns the record count in the journal, replayed plus
+// appended this session.
+func (j *Journal) Appended() int { return j.appended }
+
+// Synced returns how many of those records are guaranteed durable.
+func (j *Journal) Synced() int { return j.synced }
+
+// Reset truncates the journal to empty — the path a resuming
+// experiment takes when the journal's header no longer matches its
+// configuration. The truncation is published atomically like the open
+// rewrite.
+func (j *Journal) Reset() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("simstate: journal reset close: %w", err)
+		return j.err
+	}
+	j.f = nil
+	tmp := j.name + tmpSuffix
+	if err := writeFileSync(j.fsys, tmp, nil); err != nil {
+		j.err = fmt.Errorf("simstate: journal reset: %w", err)
+		return j.err
+	}
+	if err := j.fsys.Rename(tmp, j.name); err != nil {
+		j.err = fmt.Errorf("simstate: journal reset publish: %w", err)
+		return j.err
+	}
+	f, err := j.fsys.Append(j.name)
+	if err != nil {
+		j.err = fmt.Errorf("simstate: journal reset reopen: %w", err)
+		return j.err
+	}
+	j.f = f
+	j.appended, j.synced = 0, 0
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("simstate: journal close: %w", err)
+		return j.err
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package simstate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wormcontain/internal/faultfs"
+)
+
+func payloadN(i int) []byte {
+	return []byte(fmt.Sprintf("checkpoint-payload-%04d-%s", i, string(bytes.Repeat([]byte{byte('a' + i%26)}, 64))))
+}
+
+func TestDirSaveLoadRoundTrip(t *testing.T) {
+	d := Open(faultfs.NewMem(nil))
+
+	if _, _, err := d.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir Load: %v, want ErrNoCheckpoint", err)
+	}
+	for i := 0; i < 5; i++ {
+		gen, err := d.Save(payloadN(i))
+		if err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+		if want := uint64(i + 1); gen != want {
+			t.Fatalf("Save %d: generation %d, want %d", i, gen, want)
+		}
+		got, ggen, err := d.Load()
+		if err != nil {
+			t.Fatalf("Load after save %d: %v", i, err)
+		}
+		if ggen != gen || !bytes.Equal(got, payloadN(i)) {
+			t.Fatalf("Load after save %d: gen %d payload %q", i, ggen, got)
+		}
+	}
+
+	// GC keeps exactly the newest keepGenerations.
+	gens, err := d.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != keepGenerations || gens[len(gens)-1] != 5 {
+		t.Fatalf("generations after GC: %v, want newest %d of %d", gens, 5, keepGenerations)
+	}
+}
+
+func TestDirRejectsEmptyPayload(t *testing.T) {
+	d := Open(faultfs.NewMem(nil))
+	if _, err := d.Save(nil); err == nil {
+		t.Fatal("Save(nil) succeeded, want error")
+	}
+}
+
+// TestDirSkipsCorruptGeneration corrupts the newest published file on a
+// real filesystem and verifies Load falls back to the previous
+// generation; with every generation corrupt, Load reports
+// ErrNoCheckpoint rather than failing unrecoverably.
+func TestDirSkipsCorruptGeneration(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Save(payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt := func(gen uint64, mutate func([]byte) []byte) {
+		name := filepath.Join(dir, ckptName(gen))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, mutate(data), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Flipped payload bit: CRC mismatch.
+	corrupt(2, func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b })
+	got, gen, err := d.Load()
+	if err != nil || gen != 1 || !bytes.Equal(got, payloadN(0)) {
+		t.Fatalf("Load with corrupt newest: payload %q gen %d err %v, want fallback to gen 1", got, gen, err)
+	}
+
+	// Torn tail: short file.
+	corrupt(1, func(b []byte) []byte { return b[:len(b)/2] })
+	if _, _, err := d.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load with all generations corrupt: %v, want ErrNoCheckpoint", err)
+	}
+
+	// The directory still accepts new checkpoints after total corruption.
+	if _, err := d.Save(payloadN(9)); err != nil {
+		t.Fatalf("Save after corruption: %v", err)
+	}
+	got, _, err = d.Load()
+	if err != nil || !bytes.Equal(got, payloadN(9)) {
+		t.Fatalf("Load after recovery save: %q, %v", got, err)
+	}
+}
+
+func TestDirIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README", "ckpt-12.ckpt", "ckpt-0000000000000003.ckpt.tmp", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ckpt-12.ckpt is not fixed-width and must not parse as a generation.
+	if _, _, err := d.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load: %v, want ErrNoCheckpoint", err)
+	}
+	gen, err := d.Save(payloadN(0))
+	if err != nil || gen != 1 {
+		t.Fatalf("Save: gen %d err %v, want fresh generation 1", gen, err)
+	}
+	// GC swept the stray tmp; the foreign files survive untouched.
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-0000000000000003.ckpt.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stray tmp not collected: %v", err)
+	}
+	for _, name := range []string{"README", "notes.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("foreign file %s: %v", name, err)
+		}
+	}
+}
+
+func recordN(i int) []byte { return []byte(fmt.Sprintf("record-%05d", i)) }
+
+func TestJournalAppendReplay(t *testing.T) {
+	mem := faultfs.NewMem(nil)
+	j, recs, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(recordN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Appended() != 10 || j.Synced() != 0 {
+		t.Fatalf("appended %d synced %d, want 10/0", j.Appended(), j.Synced())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Synced() != 10 {
+		t.Fatalf("synced after close: %d", j.Synced())
+	}
+
+	j2, recs, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec, recordN(i)) {
+			t.Fatalf("record %d: %q", i, rec)
+		}
+	}
+	if j2.Appended() != 10 {
+		t.Fatalf("reopened journal appended %d", j2.Appended())
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	mem := faultfs.NewMem(nil)
+	j, _, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(recordN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn frame lands after the valid records: half a header, then
+	// garbage.
+	f, err := mem.Append("mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records past a torn tail, want 4", len(recs))
+	}
+	// The rewrite removed the tail: append + reopen yields 5 clean records.
+	if err := j2.Append(recordN(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || !bytes.Equal(recs[4], recordN(4)) {
+		t.Fatalf("after tail truncation and append: %d records", len(recs))
+	}
+}
+
+func TestJournalReset(t *testing.T) {
+	mem := faultfs.NewMem(nil)
+	j, _, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(recordN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 0 {
+		t.Fatalf("appended after reset: %d", j.Appended())
+	}
+	if err := j.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := OpenJournal(mem, "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "fresh" {
+		t.Fatalf("after reset: %q", recs)
+	}
+}
+
+func TestJournalRejectsBadRecords(t *testing.T) {
+	j, _, err := OpenJournal(faultfs.NewMem(nil), "mc.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(nil); err == nil {
+		t.Error("Append(nil) succeeded")
+	}
+	if err := j.Append(make([]byte, maxJournalRecord+1)); err == nil {
+		t.Error("oversized Append succeeded")
+	}
+	// Size-limit rejections are not sticky failures.
+	if err := j.Append([]byte("ok")); err != nil {
+		t.Errorf("Append after rejected record: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
